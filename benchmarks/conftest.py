@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one figure/table of the paper at the scale set by
+``REPRO_SCALE`` (default 1.0 ≈ a 1:100 scale model of the paper's traces)
+and prints the same rows/series the paper plots.  EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """One shared config so the (expensive) traces are generated once."""
+    return ExperimentConfig()
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,26 @@
+"""Ablation: interpolation vs hold-last vs nearest-reference estimators.
+
+Quantifies the value of RLI's linear interpolation over simpler per-packet
+estimators on the identical 93%-utilization workload.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import run_estimator_ablation
+
+
+def test_ablation_estimators(benchmark, bench_config):
+    results = benchmark.pedantic(run_estimator_ablation, args=(bench_config,),
+                                 rounds=1, iterations=1)
+
+    print_banner("Ablation: per-packet estimator strategy (93% utilization)")
+    print(format_table(
+        ["estimator", "median RE(mean)", "p90 RE(mean)"],
+        [[name, f"{e.median:.4f}", f"{e.quantile(0.9):.4f}"]
+         for name, e in results.items()],
+    ))
+
+    # linear interpolation is the best of the three (ties allowed)
+    assert results["linear"].median <= results["previous"].median + 1e-9
+    assert results["linear"].median <= results["nearest"].median + 1e-9

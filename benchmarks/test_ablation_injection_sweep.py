@@ -1,0 +1,28 @@
+"""Ablation: static 1-and-n sweep.
+
+Shows the accuracy/overhead trade the paper's scheme choice navigates:
+1-and-10 (the adaptive scheme's operating point here) vs 1-and-100 (the
+static worst-case choice) vs sparser.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import run_injection_sweep
+
+
+def test_ablation_injection_sweep(benchmark, bench_config):
+    rows = benchmark.pedantic(run_injection_sweep, args=(bench_config,),
+                              rounds=1, iterations=1)
+
+    print_banner("Ablation: static 1-and-n injection sweep (93% utilization)")
+    print(format_table(
+        ["n (1-and-n)", "median RE(mean)", "references injected"],
+        [[n, f"{median:.4f}", refs] for n, median, refs in rows],
+    ))
+
+    # overhead falls monotonically with n
+    refs = [r[2] for r in rows]
+    assert refs == sorted(refs, reverse=True)
+    # the densest schedule is at least as accurate as the sparsest
+    assert rows[0][1] <= rows[-1][1] + 1e-9

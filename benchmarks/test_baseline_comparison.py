@@ -1,0 +1,42 @@
+"""Baseline comparison: RLI vs LDA vs Multiflow vs trajectory sampling.
+
+The paper's related-work positioning, measured: LDA nails the aggregate but
+answers no per-flow question; Multiflow covers flows cheaply but crudely
+(two samples); trajectory sampling is accurate on sampled packets but
+misses most flows; RLI covers (essentially) all flows accurately.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import run_baseline_comparison
+
+
+def fmt(x):
+    return "n/a" if x is None else f"{x:.4f}"
+
+
+def test_baseline_comparison(benchmark, bench_config):
+    out = benchmark.pedantic(run_baseline_comparison, args=(bench_config,),
+                             rounds=1, iterations=1)
+
+    print_banner("Baselines on one workload (93% utilization)")
+    print(format_table(
+        ["method", "granularity", "median RE", "flow coverage"],
+        [
+            ["RLI (this paper's substrate)", "per-flow", fmt(out["rli_median_re"]),
+             f"{out['rli_coverage']:.1%}"],
+            ["Multiflow (NetFlow 2-sample)", "per-flow", fmt(out["multiflow_median_re"]),
+             f"{out['multiflow_coverage']:.1%}"],
+            ["Trajectory sampling", "sampled flows", fmt(out["trajectory_median_re"]),
+             f"{out['trajectory_coverage']:.1%}"],
+            ["LDA", "aggregate only", fmt(out["lda_aggregate_re"]), "-"],
+        ],
+    ))
+    print(f"\ntrue aggregate mean: {out['true_aggregate_mean'] * 1e6:.1f}us; "
+          f"LDA estimate: {out['lda_estimate']!r}")
+
+    assert out["rli_coverage"] > 0.95
+    assert out["lda_aggregate_re"] < 0.02  # LDA: excellent aggregate
+    assert out["rli_median_re"] < out["multiflow_median_re"]  # RLI beats 2-sample
+    assert out["trajectory_coverage"] < 0.8  # sampling misses flows

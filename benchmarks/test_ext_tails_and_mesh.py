@@ -1,0 +1,52 @@
+"""Extension benches: per-flow tail quantiles and the multi-pair mesh.
+
+* Tail accuracy — RLI's per-packet estimates aggregated into streaming P²
+  per-flow p50/p95/p99, scored against true per-flow quantiles.  Latency
+  SLOs are tail SLOs; this is the measurement operators actually page on.
+* Mesh — one shared RLIR deployment serving three ToR pairs at once, each
+  pair's traffic acting as cross traffic for the others.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.experiments.config import default_scale
+from repro.experiments.extensions import run_mesh_study, run_tail_accuracy
+
+
+def test_ext_tail_quantiles(benchmark, bench_config):
+    results = benchmark.pedantic(run_tail_accuracy, args=(bench_config,),
+                                 rounds=1, iterations=1)
+
+    print_banner("Extension: per-flow tail-quantile accuracy (93% util, "
+                 "flows with >= 20 packets)")
+    print(format_table(
+        ["quantile", "flows", "median RE", "flows RE<10%"],
+        [[f"p{int(q * 100)}", len(e), f"{e.median:.4f}",
+          f"{e.fraction_below(0.10):.0%}"] for q, e in sorted(results.items())],
+    ))
+
+    assert 0.5 in results and 0.99 in results
+    # the median is the easiest quantile; tails are harder but usable
+    assert results[0.5].median < 0.25
+    assert results[0.99].median < 0.6
+
+
+def test_ext_mesh(benchmark):
+    n = max(5000, int(15_000 * default_scale()))
+    rows = benchmark.pedantic(run_mesh_study,
+                              kwargs={"n_packets_per_pair": n},
+                              rounds=1, iterations=1)
+
+    print_banner("Extension: shared-core RLIR mesh, three ToR pairs at once")
+    print(format_table(
+        ["pair", "flows (seg2)", "seg2 median RE", "e2e median RE"],
+        [[pair, flows, f"{seg2:.4f}", f"{e2e:.4f}"]
+         for pair, flows, seg2, e2e in rows],
+    ))
+
+    assert len(rows) == 3
+    for pair, flows, seg2, e2e in rows:
+        assert flows > 50, pair
+        assert seg2 < 0.5, pair
+        assert e2e < 0.5, pair

@@ -1,0 +1,44 @@
+"""Figure 4(b): CDF of relative error of per-flow STANDARD DEVIATION
+estimates.
+
+Paper series: same four conditions as 4(a).  Expected shape: "a similar
+trend with mean estimates ... in adaptive scheme, while less than 10%
+relative error is obtained by about 30% flows at 67% link utilization, the
+same relative error is obtained by about 90% flows at 93% link utilization"
+— i.e. a large accuracy gap between the two utilizations.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_cdf_series, format_table
+from repro.experiments.fig4 import run_fig4ab
+
+HEADERS = ["series", "util", "flows(std defined)", "median RE(std)", "flows RE<10%"]
+
+
+def test_fig4b_stddev_accuracy(benchmark, bench_config):
+    curves = benchmark.pedantic(run_fig4ab, args=(bench_config,), rounds=1, iterations=1)
+
+    print_banner("Figure 4(b): per-flow STD-DEV latency estimates, random cross traffic")
+    rows = []
+    for c in curves:
+        ecdf = c.std_ecdf
+        rows.append([
+            c.label,
+            f"{c.condition.measured_util:.0%}",
+            c.std_join.joined,
+            f"{ecdf.median:.3f}" if ecdf else "n/a",
+            f"{ecdf.fraction_below(0.10):.0%}" if ecdf else "n/a",
+        ])
+    print(format_table(HEADERS, rows))
+    print()
+    for c in curves:
+        if c.std_ecdf:
+            print(format_cdf_series(f"CDF[{c.label}]", c.std_ecdf.curve()))
+
+    by_label = {c.label: c for c in curves}
+    hi = by_label["adaptive, 93%"].std_ecdf
+    lo = by_label["adaptive, 67%"].std_ecdf
+    # same trend as the mean estimates: much better at higher utilization
+    assert hi.median < lo.median
+    assert hi.fraction_below(0.10) > lo.fraction_below(0.10)

@@ -1,0 +1,39 @@
+"""Section 3.1 (in-text analysis): deployment complexity on k-ary fat-trees.
+
+Regenerates the paper's instance-count analysis as a table and verifies the
+closed forms against enumeration on concretely built topologies:
+
+    interface pair   k + 2
+    ToR pair         k(k+2)/2
+    all ToR pairs    (k/2)^2 (k+1)   [paper formula; see DESIGN.md note]
+    full deployment  Theta(k^4)
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.experiments.placement import run_placement
+
+HEADERS = ["k", "iface pair (k+2)", "ToR pair k(k+2)/2", "all pairs (paper)",
+           "all pairs (enum)", "full deploy", "RLIR/full"]
+
+
+def test_placement_complexity(benchmark):
+    rows = benchmark.pedantic(
+        run_placement, kwargs={"ks": (4, 8, 16, 32, 48), "enumerate_up_to": 16},
+        rounds=1, iterations=1)
+
+    print_banner("Section 3.1: RLIR deployment complexity on k-ary fat-trees")
+    print(format_table(HEADERS, [r.as_list() for r in rows]))
+
+    for r in rows:
+        # closed forms match the concrete planner wherever we enumerated
+        if r.enum_interface_pair is not None:
+            assert r.enum_interface_pair == r.interface_pair
+            assert r.enum_tor_pair == r.tor_pair
+            assert r.enum_all_pairs == r.all_tor_pairs_enumerated
+        # partial deployment is asymptotically cheaper: Theta(k^3) vs k^4
+        assert r.savings_vs_full < 0.25
+    # savings improve with fabric size
+    savings = [r.savings_vs_full for r in rows]
+    assert savings == sorted(savings, reverse=True)

@@ -1,0 +1,78 @@
+"""RLIR across a fat-tree (the architecture of Figures 1-2, as code).
+
+Runs the full ToR-pair deployment — per-uplink senders with crafted
+reference flows, core instances, downstream demux — on a k=4 fat-tree with
+background traffic, under both demultiplexing options, and reports
+per-segment and end-to-end accuracy.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.cdf import Ecdf
+from repro.analysis.metrics import flow_mean_errors
+from repro.analysis.report import format_table
+from repro.core.injection import StaticInjection
+from repro.core.rlir import RlirDeployment
+from repro.experiments.config import default_scale
+from repro.sim.topology import FatTree, LinkParams
+from repro.traffic.synthetic import TraceConfig, generate_fattree_trace
+
+
+def build(demux_method):
+    scale = default_scale()
+    ft = FatTree(4, LinkParams(rate_bps=100e6, buffer_bytes=256 * 1024,
+                               proc_delay=1e-6, prop_delay=0.5e-6))
+    measured_pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
+                      for h in range(2) for g in range(2)]
+    bg_pairs = [(ft.host_address(p, e, h), ft.host_address(1, 0, g))
+                for p in (2, 3) for e in range(2) for h in range(2) for g in range(2)]
+    measured = generate_fattree_trace(
+        TraceConfig(duration=1.0, n_packets=max(2000, int(30_000 * scale))),
+        measured_pairs, seed=11, name="measured")
+    background = generate_fattree_trace(
+        TraceConfig(duration=1.0, n_packets=max(3000, int(60_000 * scale))),
+        bg_pairs, seed=12, name="background")
+    deployment = RlirDeployment(ft, src=(0, 0), dst=(1, 0),
+                                policy_factory=lambda: StaticInjection(50),
+                                demux_method=demux_method)
+    return deployment, [measured, background]
+
+
+def run_both():
+    out = {}
+    for method in ("marking", "reverse-ecmp"):
+        deployment, traces = build(method)
+        out[method] = deployment.run(traces)
+    return out
+
+
+def test_rlir_fattree(benchmark):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print_banner("RLIR ToR-pair deployment on a k=4 fat-tree (w/ background traffic)")
+    rows = []
+    for method, result in results.items():
+        j1 = flow_mean_errors(result.segment1_estimated(), result.segment1_true())
+        j2 = flow_mean_errors(result.segment2_estimated(), result.segment2_true())
+        e2e = result.end_to_end()
+        e2e_errors = [abs(est - true) / true for _, est, true in e2e if true > 0]
+        rows.append([
+            method,
+            len(j1.errors), f"{Ecdf(j1.errors).median:.4f}",
+            len(j2.errors), f"{Ecdf(j2.errors).median:.4f}",
+            len(e2e), f"{Ecdf(e2e_errors).median:.4f}",
+        ])
+    print(format_table(
+        ["demux", "seg1 flows", "seg1 med RE", "seg2 flows", "seg2 med RE",
+         "e2e flows", "e2e med RE"],
+        rows,
+    ))
+
+    for method, result in results.items():
+        j2 = flow_mean_errors(result.segment2_estimated(), result.segment2_true())
+        assert Ecdf(j2.errors).median < 0.5, method
+    # the two downstream demux options classify packets identically
+    mark = results["marking"].seg2_receiver
+    recmp = results["reverse-ecmp"].seg2_receiver
+    assert {k: s.count for k, s in mark.flow_estimated.items()} == \
+           {k: s.count for k, s in recmp.flow_estimated.items()}

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Cross-traffic study: how unobservable downstream load affects RLI.
+
+Sweeps the bottleneck utilization (controlled by cross traffic the sender
+cannot see) and compares the paper's two injection schemes — static
+1-and-100 (worst-case provisioning) and adaptive 1-and-[10..300] (which
+mis-adapts to the sender's lightly loaded local link) — on accuracy and
+interference, reproducing the trade-off at the heart of Section 3.2.
+
+Run:  python examples/crosstraffic_study.py
+"""
+
+from repro.analysis.cdf import Ecdf
+from repro.analysis.metrics import flow_mean_errors
+from repro.analysis.report import format_table, us
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import PipelineWorkload, run_condition
+from repro.net.packet import PacketKind
+
+
+def main():
+    config = ExperimentConfig(scale=0.05, seed=3)
+    workload = PipelineWorkload(config)
+    print(f"workload: {workload.regular}")
+    print(f"sender-side utilization is always ~{config.base_utilization:.0%}: "
+          f"the adaptive scheme runs at its highest rate (1-and-10) regardless "
+          f"of the bottleneck\n")
+
+    rows = []
+    for target in (0.34, 0.50, 0.67, 0.80, 0.93):
+        cells = [f"{target:.0%}"]
+        for scheme in ("static", "adaptive"):
+            run = run_condition(workload, scheme, "random", target)
+            join = flow_mean_errors(run.receiver.flow_estimated,
+                                    run.receiver.flow_true)
+            ecdf = Ecdf(join.errors)
+            cells.append(f"{ecdf.median:.1%}")
+            if scheme == "static":
+                cells.insert(1, us(run.mean_true_latency))
+            loss = run.pipeline.loss_rate(PacketKind.REGULAR)
+            cells.append(f"{loss:.2%}")
+        rows.append(cells)
+
+    print(format_table(
+        ["bottleneck util", "true mean latency",
+         "static med RE", "static loss", "adaptive med RE", "adaptive loss"],
+        rows,
+    ))
+    print("\nreading the table: relative error *falls* as utilization rises "
+          "(larger true delays are easier to track), and the adaptive "
+          "scheme's 10x reference rate buys accuracy at a small loss cost — "
+          "the paper's argument for conservative static injection across "
+          "routers.")
+
+
+if __name__ == "__main__":
+    main()

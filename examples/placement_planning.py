@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Planning an RLIR rollout: how many instances, and where.
+
+Reproduces the paper's Section 3.1 complexity analysis as an operator tool:
+closed-form instance counts for a sweep of fat-tree arities, plus the
+concrete (switch, interface) placement list for one deployment.
+
+Run:  python examples/placement_planning.py
+"""
+
+from collections import Counter
+
+from repro.analysis.report import format_table
+from repro.core.placement import RlirPlacement
+from repro.experiments.placement import run_placement
+from repro.sim.topology import FatTree
+
+
+def main():
+    print("Deployment cost on k-ary fat-trees (measurement instances):\n")
+    rows = run_placement(ks=(4, 8, 16, 32, 48), enumerate_up_to=8)
+    print(format_table(
+        ["k", "iface pair", "ToR pair", "all pairs (paper)",
+         "all pairs (enum)", "full deploy", "RLIR/full"],
+        [r.as_list() for r in rows],
+    ))
+
+    print("\nConcrete plan: ToR-pair deployment on k=8, "
+          "ToR(0,0) <-> ToR(1,1):\n")
+    ft = FatTree(8)
+    planner = RlirPlacement(ft)
+    instances = planner.tor_pair((0, 0), (1, 1))
+    by_role = Counter(i.role for i in instances)
+    print(format_table(["role", "instances"], sorted(by_role.items())))
+    print()
+    print(format_table(
+        ["switch", "interface", "role"],
+        [[i.switch_name, i.port_index, i.role] for i in instances[:12]],
+    ))
+    print(f"... {len(instances)} instances total "
+          f"(formula k(k+2)/2 = {8 * 10 // 2})")
+
+
+if __name__ == "__main__":
+    main()

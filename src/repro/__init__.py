@@ -1,0 +1,65 @@
+"""repro — RLIR: flow-level latency measurements across routers.
+
+A faithful, fully self-contained reproduction of
+
+    P. Singh, M. Lee, S. Kumar, R. R. Kompella,
+    "Enabling Flow-level Latency Measurements across Routers in Data
+    Centers", USENIX HotICE 2011.
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.net`      — packets, flows, prefixes, ToS marks
+* :mod:`repro.sim`      — queues, switches, ECMP, fat-trees, event engine
+* :mod:`repro.traffic`  — synthetic traces, cross-traffic models, flow meter
+* :mod:`repro.core`     — RLI senders/receivers and the RLIR architecture
+* :mod:`repro.baselines`— LDA, Multiflow, trajectory sampling
+* :mod:`repro.analysis` — relative errors, CDFs, reports
+* :mod:`repro.experiments` — drivers for every figure/table
+
+Quickstart::
+
+    from repro.experiments import ExperimentConfig, PipelineWorkload, run_condition
+    from repro.analysis import flow_mean_errors, Ecdf
+
+    workload = PipelineWorkload(ExperimentConfig(scale=0.05))
+    run = run_condition(workload, scheme="static", model="random", target_util=0.93)
+    join = flow_mean_errors(run.receiver.flow_estimated, run.receiver.flow_true)
+    print("median per-flow relative error:", Ecdf(join.errors).median)
+"""
+
+from . import analysis, baselines, core, net, sim, traffic
+from .core import (
+    AdaptiveInjection,
+    FlowStatsTable,
+    InterpolationBuffer,
+    RliReceiver,
+    RliSender,
+    RlirDeployment,
+    StaticInjection,
+)
+from .sim import FatTree, TwoSwitchPipeline
+from .traffic import Trace, TraceConfig, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "net",
+    "sim",
+    "traffic",
+    "AdaptiveInjection",
+    "FlowStatsTable",
+    "InterpolationBuffer",
+    "RliReceiver",
+    "RliSender",
+    "RlirDeployment",
+    "StaticInjection",
+    "FatTree",
+    "TwoSwitchPipeline",
+    "Trace",
+    "TraceConfig",
+    "generate_trace",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Metrics, CDFs and text reporting used by tests, examples and benches."""
+
+from .cdf import Ecdf
+from .metrics import FlowErrorJoin, flow_mean_errors, flow_std_errors, relative_error
+from .plot import ascii_cdf, ascii_series
+from .report import format_cdf_series, format_table, pct, us
+
+__all__ = [
+    "ascii_cdf",
+    "ascii_series",
+    "Ecdf",
+    "FlowErrorJoin",
+    "flow_mean_errors",
+    "flow_std_errors",
+    "relative_error",
+    "format_cdf_series",
+    "format_table",
+    "pct",
+    "us",
+]

@@ -1,0 +1,80 @@
+"""Error metrics joining estimated and true per-flow statistics.
+
+"A performance metric is the relative error" (paper Section 4): for each
+flow, |estimate − truth| / truth, computed over per-flow means
+(Figure 4(a,c)) and standard deviations (Figure 4(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.flowstats import FlowStatsTable, StreamingStats
+
+__all__ = [
+    "relative_error",
+    "flow_mean_errors",
+    "flow_std_errors",
+    "FlowErrorJoin",
+]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate − truth| / truth (truth must be positive)."""
+    if truth <= 0:
+        raise ValueError(f"relative error undefined for truth={truth}")
+    return abs(estimate - truth) / truth
+
+
+class FlowErrorJoin:
+    """Join of estimated and true tables with coverage accounting."""
+
+    def __init__(self, errors: List[float], joined: int, skipped_missing: int, skipped_zero: int):
+        self.errors = errors
+        self.joined = joined
+        self.skipped_missing = skipped_missing  # flows with no estimate
+        self.skipped_zero = skipped_zero  # flows where truth makes RE undefined
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowErrorJoin(joined={self.joined}, missing={self.skipped_missing}, "
+            f"undefined={self.skipped_zero})"
+        )
+
+
+def _flow_errors(
+    estimated: FlowStatsTable,
+    true: FlowStatsTable,
+    value_of: Callable[[StreamingStats], float],
+    min_count: int = 1,
+) -> FlowErrorJoin:
+    errors: List[float] = []
+    missing = 0
+    zero = 0
+    joined = 0
+    for key, truth in true.items():
+        if truth.count < min_count:
+            continue
+        est = estimated.get(key)
+        if est is None:
+            missing += 1
+            continue
+        t = value_of(truth)
+        if t <= 0:
+            zero += 1
+            continue
+        joined += 1
+        errors.append(abs(value_of(est) - t) / t)
+    return FlowErrorJoin(errors, joined, missing, zero)
+
+
+def flow_mean_errors(estimated: FlowStatsTable, true: FlowStatsTable) -> FlowErrorJoin:
+    """Per-flow relative errors of mean latency (Figure 4(a,c) metric)."""
+    return _flow_errors(estimated, true, lambda s: s.mean)
+
+
+def flow_std_errors(estimated: FlowStatsTable, true: FlowStatsTable) -> FlowErrorJoin:
+    """Per-flow relative errors of latency standard deviation
+    (Figure 4(b) metric).  Restricted to flows with >= 2 packets and
+    positive true deviation, where the metric is defined."""
+    return _flow_errors(estimated, true, lambda s: s.std, min_count=2)

@@ -1,0 +1,100 @@
+"""ASCII plotting for terminal-first reporting.
+
+The paper presents its results as CDF plots (Figure 4) and an x-y series
+(Figure 5); the benches print the raw rows, and these helpers render the
+same data as terminal plots so the *shape* — who dominates whom, where the
+curves cross — is visible without leaving the console.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from .cdf import Ecdf
+
+__all__ = ["ascii_cdf", "ascii_series"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _log_ticks(lo: float, hi: float, width: int) -> List[float]:
+    lo = max(lo, 1e-12)
+    hi = max(hi, lo * 10)
+    llo, lhi = math.log10(lo), math.log10(hi)
+    return [10 ** (llo + (lhi - llo) * i / (width - 1)) for i in range(width)]
+
+
+def ascii_cdf(
+    curves: Dict[str, Ecdf],
+    width: int = 64,
+    height: int = 16,
+    x_lo: float = None,
+    x_hi: float = None,
+) -> str:
+    """Render CDF curves on a log-x grid (the paper's Figure-4 style).
+
+    Each series gets a marker; the legend maps markers to labels.
+    """
+    if not curves:
+        raise ValueError("at least one curve required")
+    if width < 8 or height < 4:
+        raise ValueError("grid too small to plot")
+    lo = x_lo if x_lo is not None else min(max(c.quantile(0.02), 1e-6) for c in curves.values())
+    hi = x_hi if x_hi is not None else max(c.quantile(0.999) for c in curves.values())
+    xs = _log_ticks(lo, hi, width)
+    grid = [[" "] * width for _ in range(height)]
+    for (label, curve), marker in zip(curves.items(), _MARKERS):
+        for col, x in enumerate(xs):
+            frac = curve.fraction_below(x)
+            row = height - 1 - min(height - 1, int(frac * (height - 1) + 0.5))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        lines.append(f"{frac:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {xs[0]:<12.3g}{'relative error (log)':^{max(0, width - 24)}}{xs[-1]:>12.3g}")
+    for (label, _), marker in zip(curves.items(), _MARKERS):
+        lines.append(f"      {marker} = {label}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    points: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "x",
+) -> str:
+    """Render x-y series on a linear grid (the paper's Figure-5 style)."""
+    if not points:
+        raise ValueError("at least one series required")
+    if width < 8 or height < 4:
+        raise ValueError("grid too small to plot")
+    all_pts = [p for series in points.values() for p in series]
+    if not all_pts:
+        raise ValueError("series are empty")
+    x_lo = min(x for x, _ in all_pts)
+    x_hi = max(x for x, _ in all_pts)
+    y_lo = min(y for _, y in all_pts)
+    y_hi = max(y for _, y in all_pts)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (label, series), marker in zip(points.items(), _MARKERS):
+        for x, y in series:
+            col = min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1) + 0.5))
+            row = height - 1 - min(height - 1, int((y - y_lo) / (y_hi - y_lo) * (height - 1) + 0.5))
+            grid[row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        y = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{y:10.3g} |" + "".join(row))
+    lines.append("           +" + "-" * width)
+    lines.append(f"            {x_lo:<12.3g}{x_label:^{max(0, width - 24)}}{x_hi:>12.3g}")
+    for (label, _), marker in zip(points.items(), _MARKERS):
+        lines.append(f"            {marker} = {label}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Fixed-width text reporting for the benches.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the output uniform and diff-able (EXPERIMENTS.md records them).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_cdf_series", "pct", "us"]
+
+
+def pct(x: float) -> str:
+    """Format a fraction as a percentage."""
+    return f"{100.0 * x:.1f}%"
+
+
+def us(seconds: float) -> str:
+    """Format seconds as microseconds."""
+    return f"{seconds * 1e6:.1f}us"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cdf_series(name: str, curve: Sequence[tuple], max_points: int = 12) -> str:
+    """Render one CDF curve as a compact '(x -> F)' series line."""
+    step = max(1, len(curve) // max_points)
+    points = curve[::step]
+    body = "  ".join(f"{x:.3g}->{f:.2f}" for x, f in points)
+    return f"{name}: {body}"

@@ -1,0 +1,8 @@
+"""Comparison baselines from the paper's related work: LDA (aggregate),
+Multiflow (NetFlow two-sample), and trajectory sampling."""
+
+from .lda import Lda, LdaEstimate
+from .multiflow import MultiflowEstimator
+from .trajectory import TrajectorySampler
+
+__all__ = ["Lda", "LdaEstimate", "MultiflowEstimator", "TrajectorySampler"]

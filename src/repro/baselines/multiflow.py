@@ -1,0 +1,72 @@
+"""Multiflow estimator (Lee et al., INFOCOM 2010 — "Two Samples are Enough").
+
+The opportunistic NetFlow-based per-flow baseline the paper cites: "the two
+timestamps already stored on a per-flow basis within NetFlow were exploited
+to obtain a crude estimator called Multiflow estimator" (Section 5).
+
+Each end runs a NetFlow/YAF meter (:class:`repro.traffic.flowmeter.FlowMeter`);
+a flow's delay estimate is the average of the delays of its first and last
+packets:
+
+    d(flow) = ((first_rx − first_tx) + (last_rx − last_tx)) / 2
+
+It needs no extra packets or router changes, but uses exactly two samples
+per flow — the benches show how far that falls behind RLI's interpolation
+on anything but long, stable flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..net.packet import Packet
+from ..traffic.flowmeter import FlowMeter
+
+__all__ = ["MultiflowEstimator"]
+
+Key = Tuple[int, int, int, int, int]
+
+
+class MultiflowEstimator:
+    """Two-ended NetFlow metering with the two-sample delay estimator."""
+
+    def __init__(self) -> None:
+        self._tx = FlowMeter()
+        self._rx = FlowMeter()
+
+    # pipeline-protocol adapters
+    def on_regular(self, packet: Packet, now: float) -> None:
+        """Sender-side meter sees the packet at time *now*."""
+        self._tx.observe(packet, ts=now)
+
+    def observe(self, packet: Packet, now: float) -> None:
+        """Receiver-side meter sees the packet at time *now*."""
+        if packet.is_regular:
+            self._rx.observe(packet, ts=now)
+
+    # ------------------------------------------------------------------
+
+    def estimate_flow(self, key: Key) -> Optional[float]:
+        """The two-sample mean-delay estimate for one flow (None if unseen
+        at either end)."""
+        tx = self._tx.table().get(key)
+        rx = self._rx.table().get(key)
+        if tx is None or rx is None:
+            return None
+        first = rx.first_ts - tx.first_ts
+        last = rx.last_ts - tx.last_ts
+        return 0.5 * (first + last)
+
+    def estimates(self) -> Dict[Key, float]:
+        """All flows seen at both ends → two-sample mean-delay estimate."""
+        rx_table = self._rx.table()
+        out: Dict[Key, float] = {}
+        for key, tx in self._tx.table().items():
+            rx = rx_table.get(key)
+            if rx is None:
+                continue
+            out[key] = 0.5 * ((rx.first_ts - tx.first_ts) + (rx.last_ts - tx.last_ts))
+        return out
+
+    def __repr__(self) -> str:
+        return f"MultiflowEstimator(tx_flows={len(self._tx)}, rx_flows={len(self._rx)})"

@@ -1,0 +1,263 @@
+"""Command-line interface: ``repro-rlir``.
+
+Operator-facing entry points for the library's main workflows:
+
+    repro-rlir generate-trace --packets 50000 --out regular.npz
+    repro-rlir trace-info regular.npz
+    repro-rlir convert regular.npz regular.csv
+    repro-rlir fig4a [--scale 0.1]     # likewise fig4b / fig4c / fig5
+    repro-rlir placement --k 4 8 16
+    repro-rlir localize [--demux reverse-ecmp]
+
+Experiment subcommands print the same rows/series the paper's figures plot
+(and the benches assert on), plus terminal CDF plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-rlir argument parser (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rlir",
+        description="RLIR: flow-level latency measurements across routers "
+                    "(Singh et al., HotICE 2011) — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-trace", help="synthesize an OC-192-like trace")
+    gen.add_argument("--packets", type=int, default=50_000)
+    gen.add_argument("--duration", type=float, default=2.0)
+    gen.add_argument("--mean-flow-pkts", type=float, default=15.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--src-base", default="10.1.0.0")
+    gen.add_argument("--dst-base", default="10.2.0.0")
+    gen.add_argument("--out", required=True, help=".npz or .csv path")
+
+    info = sub.add_parser("trace-info", help="summarize a saved trace")
+    info.add_argument("path")
+
+    conv = sub.add_parser("convert", help="convert a trace between npz and csv")
+    conv.add_argument("src")
+    conv.add_argument("dst")
+
+    for fig, description in (
+        ("fig4a", "per-flow mean-latency accuracy CDFs"),
+        ("fig4b", "per-flow std-dev accuracy CDFs"),
+        ("fig4c", "bursty vs random cross-traffic accuracy"),
+        ("fig5", "reference-packet loss interference sweep"),
+    ):
+        p = sub.add_parser(fig, help=f"reproduce {description}")
+        p.add_argument("--scale", type=float, default=None,
+                       help="workload scale (default: REPRO_SCALE or 1.0)")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--no-plot", action="store_true")
+        if fig == "fig5":
+            p.add_argument("--seeds", type=int, default=3,
+                           help="cross-traffic selections averaged per point")
+
+    plc = sub.add_parser("placement", help="deployment-complexity table")
+    plc.add_argument("--k", type=int, nargs="+", default=[4, 8, 16, 32, 48])
+    plc.add_argument("--enumerate-up-to", type=int, default=16)
+
+    loc = sub.add_parser("localize", help="run the RLIR localization demo")
+    loc.add_argument("--demux", choices=["marking", "reverse-ecmp"],
+                     default="reverse-ecmp")
+    loc.add_argument("--packets", type=int, default=20_000)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations (imports are local so --help stays instant)
+
+
+def _cmd_generate_trace(args) -> int:
+    from .traffic.csvio import save_csv
+    from .traffic.synthetic import TraceConfig, generate_trace
+
+    cfg = TraceConfig(
+        duration=args.duration,
+        n_packets=args.packets,
+        mean_flow_pkts=args.mean_flow_pkts,
+        src_base=args.src_base,
+        dst_base=args.dst_base,
+    )
+    trace = generate_trace(cfg, seed=args.seed)
+    if args.out.endswith(".csv"):
+        save_csv(trace, args.out)
+    else:
+        trace.save(args.out)
+    print(f"wrote {trace!r} -> {args.out}")
+    return 0
+
+
+def _load_any(path: str):
+    from .traffic.csvio import load_csv
+    from .traffic.trace import Trace
+
+    return load_csv(path) if path.endswith(".csv") else Trace.load(path)
+
+
+def _cmd_trace_info(args) -> int:
+    trace = _load_any(args.path)
+    print(f"name:      {trace.name}")
+    print(f"packets:   {len(trace)}")
+    print(f"flows:     {trace.n_flows}")
+    print(f"duration:  {trace.duration:.3f}s")
+    print(f"bytes:     {trace.total_bytes}")
+    print(f"mean rate: {trace.mean_rate_bps() / 1e6:.2f} Mb/s")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from .traffic.csvio import save_csv
+
+    trace = _load_any(args.src)
+    if args.dst.endswith(".csv"):
+        save_csv(trace, args.dst)
+    else:
+        trace.save(args.dst)
+    print(f"converted {args.src} -> {args.dst} ({len(trace)} packets)")
+    return 0
+
+
+def _fig_config(args):
+    from .experiments.config import ExperimentConfig
+
+    return ExperimentConfig(scale=args.scale, seed=args.seed)
+
+
+def _print_fig4(curves, show_plot: bool, std: bool = False) -> None:
+    from .analysis.plot import ascii_cdf
+    from .analysis.report import format_table
+
+    headers = ["series", "util", "true mean (us)", "median RE(mean)",
+               "flows RE<10%", "median RE(std)", "refs"]
+    print(format_table(headers, [c.summary_row() for c in curves]))
+    if show_plot:
+        curves_by_label = {
+            c.label: (c.std_ecdf if std else c.mean_ecdf)
+            for c in curves
+            if (c.std_ecdf if std else c.mean_ecdf) is not None
+        }
+        print()
+        print(ascii_cdf(curves_by_label))
+
+
+def _cmd_fig4a(args) -> int:
+    from .experiments.fig4 import run_fig4ab
+
+    _print_fig4(run_fig4ab(_fig_config(args)), not args.no_plot)
+    return 0
+
+
+def _cmd_fig4b(args) -> int:
+    from .experiments.fig4 import run_fig4ab
+
+    _print_fig4(run_fig4ab(_fig_config(args)), not args.no_plot, std=True)
+    return 0
+
+
+def _cmd_fig4c(args) -> int:
+    from .experiments.fig4 import run_fig4c
+
+    _print_fig4(run_fig4c(_fig_config(args)), not args.no_plot)
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .analysis.plot import ascii_series
+    from .analysis.report import format_table
+    from .experiments.fig5 import run_fig5
+
+    rows = run_fig5(_fig_config(args), n_seeds=args.seeds)
+    print(format_table(
+        ["target util", "measured util", "baseline loss", "static diff", "adaptive diff"],
+        [[f"{r.target_util:.2f}", f"{r.measured_util:.3f}", f"{r.baseline_loss:.6f}",
+          f"{r.static_diff:+.6f}", f"{r.adaptive_diff:+.6f}"] for r in rows],
+    ))
+    if not args.no_plot:
+        print()
+        print(ascii_series(
+            {
+                "static": [(r.measured_util, r.static_diff) for r in rows],
+                "adaptive": [(r.measured_util, r.adaptive_diff) for r in rows],
+            },
+            x_label="bottleneck utilization",
+        ))
+    return 0
+
+
+def _cmd_placement(args) -> int:
+    from .analysis.report import format_table
+    from .experiments.placement import run_placement
+
+    rows = run_placement(ks=tuple(args.k), enumerate_up_to=args.enumerate_up_to)
+    print(format_table(
+        ["k", "iface pair", "ToR pair", "all pairs (paper)",
+         "all pairs (enum)", "full deploy", "RLIR/full"],
+        [r.as_list() for r in rows],
+    ))
+    return 0
+
+
+def _cmd_localize(args) -> int:
+    from .analysis.report import format_table, us
+    from .core.injection import StaticInjection
+    from .core.localization import localize
+    from .core.rlir import RlirDeployment
+    from .sim.topology import FatTree, LinkParams
+    from .traffic.synthetic import TraceConfig, generate_fattree_trace
+
+    ft = FatTree(4, LinkParams(rate_bps=100e6, buffer_bytes=256 * 1024))
+    measured_pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
+                      for h in range(2) for g in range(2)]
+    incast_pairs = [(ft.host_address(p, e, h), ft.host_address(1, 0, g))
+                    for p in (2, 3) for e in range(2) for h in range(2)
+                    for g in range(2)]
+    measured = generate_fattree_trace(
+        TraceConfig(duration=1.0, n_packets=args.packets), measured_pairs, seed=1)
+    incast = generate_fattree_trace(
+        TraceConfig(duration=1.0, n_packets=3 * args.packets), incast_pairs, seed=2)
+    deployment = RlirDeployment(ft, src=(0, 0), dst=(1, 0),
+                                policy_factory=lambda: StaticInjection(50),
+                                demux_method=args.demux)
+    result = deployment.run([measured, incast])
+    report = localize(result.segments(), factor=3.0, floor=5e-6, min_samples=20)
+    print(format_table(
+        ["segment", "mean latency", "flows", "anomalous?"],
+        [[s.name, us(s.mean), s.n_flows,
+          "YES" if s.name in report.anomalous else ""] for s in report.summaries],
+    ))
+    print(f"\nculprit: {report.culprit}")
+    return 0
+
+
+_COMMANDS = {
+    "generate-trace": _cmd_generate_trace,
+    "trace-info": _cmd_trace_info,
+    "convert": _cmd_convert,
+    "fig4a": _cmd_fig4a,
+    "fig4b": _cmd_fig4b,
+    "fig4c": _cmd_fig4c,
+    "fig5": _cmd_fig5,
+    "placement": _cmd_placement,
+    "localize": _cmd_localize,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The paper's contribution: RLI instances and the RLIR partial deployment.
+
+Public surface: injection policies, sender/receiver instances, the
+demultiplexers that make RLI work *across* routers, placement planning, and
+anomaly localization.
+"""
+
+from .demux import Demux, PathClassifierDemux, SingleSenderDemux, UpstreamPrefixDemux
+from .flowstats import BoundedFlowStatsTable, FlowStatsTable, StreamingStats
+from .full_rli import FullRliDeployment, FullRliResult
+from .injection import AdaptiveInjection, InjectionPolicy, StaticInjection
+from .interpolation import ESTIMATORS, Estimate, InterpolationBuffer, linear_interpolate
+from .localization import LocalizationReport, SegmentSummary, flow_breakdown, localize
+from .marking import MarkingClassifier, assign_marks
+from .mesh import MeshResult, RlirMesh
+from .placement import (
+    PlacementInstance,
+    RlirPlacement,
+    instances_all_tor_pairs_enumerated,
+    instances_all_tor_pairs_paper,
+    instances_full_deployment,
+    instances_interface_pair,
+    instances_tor_pair,
+)
+from .quantiles import FlowQuantileTable, P2Quantile
+from .receiver import RliReceiver
+from .reverse_ecmp import ReverseEcmpClassifier
+from .rlir import RlirDeployment, RlirResult
+from .sender import REFERENCE_PACKET_SIZE, RefTemplate, RliSender
+from .utilization import EwmaUtilization
+
+__all__ = [
+    "BoundedFlowStatsTable",
+    "FullRliDeployment",
+    "FullRliResult",
+    "Demux",
+    "PathClassifierDemux",
+    "SingleSenderDemux",
+    "UpstreamPrefixDemux",
+    "FlowStatsTable",
+    "StreamingStats",
+    "AdaptiveInjection",
+    "InjectionPolicy",
+    "StaticInjection",
+    "ESTIMATORS",
+    "Estimate",
+    "InterpolationBuffer",
+    "linear_interpolate",
+    "LocalizationReport",
+    "SegmentSummary",
+    "flow_breakdown",
+    "localize",
+    "MarkingClassifier",
+    "assign_marks",
+    "MeshResult",
+    "RlirMesh",
+    "FlowQuantileTable",
+    "P2Quantile",
+    "PlacementInstance",
+    "RlirPlacement",
+    "instances_all_tor_pairs_enumerated",
+    "instances_all_tor_pairs_paper",
+    "instances_full_deployment",
+    "instances_interface_pair",
+    "instances_tor_pair",
+    "RliReceiver",
+    "ReverseEcmpClassifier",
+    "RlirDeployment",
+    "RlirResult",
+    "REFERENCE_PACKET_SIZE",
+    "RefTemplate",
+    "RliSender",
+    "EwmaUtilization",
+]

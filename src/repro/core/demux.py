@@ -1,0 +1,133 @@
+"""RLIR stream demultiplexers (paper Section 3.1).
+
+When RLI instances sit several routers apart, one receiver hears reference
+streams from *many* senders, multiplexed with regular packets that may only
+partially share the senders' paths.  "The receiver needs a mechanism to
+distinguish both regular and reference packets to isolate the streams" —
+interpolating a packet against the wrong sender's references would produce
+"totally wrong" per-flow estimates.
+
+A demultiplexer maps every packet to the *stream* (sender instance) whose
+references describe its path segment, or ``None`` for packets this receiver
+must not measure (cross traffic, uncovered paths):
+
+* reference packets carry an explicit ``sender_id`` — "The RLI receiver can
+  identify reference packets' origin easily via an RLI sender ID";
+* regular packets are classified by source-prefix matching (upstream case),
+  optionally refined by a *path classifier* — packet marking or reverse-ECMP
+  computation — to pin down the intermediate router (downstream case).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set, Tuple
+
+from ..net.addressing import Prefix, PrefixTrie
+from ..net.packet import Packet
+
+__all__ = ["Demux", "SingleSenderDemux", "UpstreamPrefixDemux", "PathClassifierDemux"]
+
+
+class Demux:
+    """Base demultiplexer: packet → stream id (= sender instance id)."""
+
+    def classify_regular(self, packet: Packet) -> Optional[int]:
+        raise NotImplementedError
+
+    def classify_reference(self, packet: Packet) -> Optional[int]:
+        """Default: accept references from subscribed senders, keyed by ID."""
+        sender = packet.sender_id
+        return sender if sender in self.sender_ids() else None
+
+    def sender_ids(self) -> Set[int]:
+        """The sender instances this receiver is associated with."""
+        raise NotImplementedError
+
+
+class SingleSenderDemux(Demux):
+    """One sender, no multiplexing — classic RLI within a router.
+
+    Optionally restricts regular packets to given source prefixes (the
+    pipeline uses this to ignore anything that is not regular traffic).
+    """
+
+    def __init__(self, sender_id: int, regular_prefixes: Optional[Iterable[Prefix]] = None):
+        self._sender_id = sender_id
+        self._trie: Optional[PrefixTrie[bool]] = None
+        if regular_prefixes is not None:
+            self._trie = PrefixTrie()
+            for prefix in regular_prefixes:
+                self._trie.insert(prefix, True)
+
+    def classify_regular(self, packet: Packet) -> Optional[int]:
+        if self._trie is not None and self._trie.lookup(packet.src) is None:
+            return None
+        return self._sender_id
+
+    def sender_ids(self) -> Set[int]:
+        return {self._sender_id}
+
+
+class UpstreamPrefixDemux(Demux):
+    """Upstream multiplexing: origin ToR identified by source prefix.
+
+    "In many cases (such as the fat-tree example), the origin of regular
+    packets can be easily identified by IP address block assigned for hosts
+    in each ToR switch. Thus, upstream RLI receivers need to perform simple
+    IP prefix matching."
+    """
+
+    def __init__(self, prefix_to_sender: Iterable[Tuple[Prefix, int]]):
+        self._trie: PrefixTrie[int] = PrefixTrie()
+        self._senders: Set[int] = set()
+        for prefix, sender_id in prefix_to_sender:
+            self._trie.insert(prefix, sender_id)
+            self._senders.add(sender_id)
+        if not self._senders:
+            raise ValueError("at least one (prefix, sender) mapping required")
+
+    def classify_regular(self, packet: Packet) -> Optional[int]:
+        return self._trie.lookup(packet.src)
+
+    def sender_ids(self) -> Set[int]:
+        return set(self._senders)
+
+
+class PathClassifierDemux(Demux):
+    """Downstream multiplexing: a path classifier pins the mid-path router.
+
+    The classifier is either the packet-marking decoder
+    (:class:`repro.core.marking.MarkingClassifier`) or the reverse-ECMP
+    computation (:class:`repro.core.reverse_ecmp.ReverseEcmpClassifier`);
+    both return the sender instance on the identified intermediate router.
+
+    An optional source-prefix filter restricts measurement to the origin
+    ToR(s) under study — the upstream-identification step that downstream
+    receivers still perform ("For identifying an upstream sender, we can
+    simply use the prefix-matching trick discussed in the upstream case").
+    """
+
+    def __init__(
+        self,
+        path_classifier: Callable[[Packet], Optional[int]],
+        sender_ids: Iterable[int],
+        source_prefixes: Optional[Iterable[Prefix]] = None,
+    ):
+        self._classifier = path_classifier
+        self._senders = set(sender_ids)
+        if not self._senders:
+            raise ValueError("at least one sender id required")
+        self._trie: Optional[PrefixTrie[bool]] = None
+        if source_prefixes is not None:
+            self._trie = PrefixTrie()
+            for prefix in source_prefixes:
+                self._trie.insert(prefix, True)
+
+    def classify_regular(self, packet: Packet) -> Optional[int]:
+        if self._trie is not None and self._trie.lookup(packet.src) is None:
+            return None
+        sender = self._classifier(packet)
+        return sender if sender in self._senders else None
+
+    def sender_ids(self) -> Set[int]:
+        return set(self._senders)

@@ -1,0 +1,163 @@
+"""Reference Latency Interpolation — the estimator core.
+
+"Given the delays of the two reference packets (computed from the
+timestamps), and arrival times of the reference and regular packets, RLI
+uses linear interpolation to estimate per-packet latency" (paper Section 2).
+
+:class:`InterpolationBuffer` is the receiver-side data structure the paper
+calls the *interpolation buffer* (Figure 2): regular-packet arrivals are
+buffered until the next reference packet closes the interval, at which point
+every buffered packet gets a delay estimate.
+
+Estimator strategies (the default is the paper's; the others exist for the
+ablation benches):
+
+* ``"linear"`` — linear interpolation between the two straddling references;
+* ``"previous"`` — each packet takes the delay of the latest reference
+  before it (zero buffering, but ignores the right endpoint);
+* ``"nearest"`` — the delay of the reference closest in arrival time.
+
+Edge handling matches RLI: packets that arrive before the first reference
+take the first reference's delay; packets after the last reference (stream
+tail) take the last reference's delay when the buffer is flushed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["InterpolationBuffer", "Estimate", "linear_interpolate", "ESTIMATORS"]
+
+Key = Tuple[int, int, int, int, int]
+
+
+class Estimate:
+    """One per-packet latency estimate emitted by the buffer."""
+
+    __slots__ = ("key", "arrival", "estimated", "true_delay")
+
+    def __init__(self, key: Key, arrival: float, estimated: float, true_delay: float):
+        self.key = key
+        self.arrival = arrival
+        self.estimated = estimated
+        self.true_delay = true_delay
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.estimated - self.true_delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"Estimate(key={self.key}, t={self.arrival:.6f}, "
+            f"est={self.estimated:.3g}, true={self.true_delay:.3g})"
+        )
+
+
+def linear_interpolate(
+    t_prev: float, d_prev: float, t_next: float, d_next: float, t: float
+) -> float:
+    """Delay at time *t* on the line through the two reference samples.
+
+    Degenerates to the endpoint average if the references arrived at the
+    same instant (possible when a reference is injected back-to-back).
+    """
+    span = t_next - t_prev
+    if span <= 0.0:
+        return 0.5 * (d_prev + d_next)
+    w = (t - t_prev) / span
+    return d_prev + w * (d_next - d_prev)
+
+
+def _estimate_linear(t_prev, d_prev, t_next, d_next, t):
+    return linear_interpolate(t_prev, d_prev, t_next, d_next, t)
+
+
+def _estimate_previous(t_prev, d_prev, t_next, d_next, t):
+    return d_prev
+
+
+def _estimate_nearest(t_prev, d_prev, t_next, d_next, t):
+    return d_prev if (t - t_prev) <= (t_next - t) else d_next
+
+
+ESTIMATORS: dict = {
+    "linear": _estimate_linear,
+    "previous": _estimate_previous,
+    "nearest": _estimate_nearest,
+}
+
+
+class InterpolationBuffer:
+    """Receiver-side buffer pairing regular arrivals with reference delays.
+
+    Usage: call :meth:`add_regular` for every regular packet and
+    :meth:`add_reference` for every reference packet, in arrival order; each
+    reference returns the estimates for the interval it closes.  Call
+    :meth:`flush` once at end of stream for the one-sided tail.
+    """
+
+    def __init__(self, estimator: str = "linear"):
+        try:
+            self._estimate: Callable = ESTIMATORS[estimator]
+        except KeyError:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; choose from {sorted(ESTIMATORS)}"
+            ) from None
+        self.estimator = estimator
+        self._pending: List[Tuple[float, Key, float]] = []  # (arrival, key, truth)
+        self._last_ref: Optional[Tuple[float, float]] = None  # (arrival, delay)
+        self.references_seen = 0
+        self.regulars_seen = 0
+
+    # ------------------------------------------------------------------
+
+    def add_regular(self, arrival: float, key: Key, true_delay: float) -> None:
+        """Buffer one regular-packet arrival (truth tags the estimate later)."""
+        self.regulars_seen += 1
+        self._pending.append((arrival, key, true_delay))
+
+    def add_reference(self, arrival: float, delay: float) -> List[Estimate]:
+        """Process one reference-packet delay sample; emit closed estimates.
+
+        The first reference ever seen resolves earlier arrivals one-sided
+        (they take its delay); later references interpolate linearly against
+        the previous one.
+        """
+        self.references_seen += 1
+        pending = self._pending
+        out: List[Estimate] = []
+        if self._last_ref is None:
+            for t, key, truth in pending:
+                out.append(Estimate(key, t, delay, truth))
+        else:
+            t_prev, d_prev = self._last_ref
+            estimate = self._estimate
+            for t, key, truth in pending:
+                est = estimate(t_prev, d_prev, arrival, delay, t)
+                out.append(Estimate(key, t, est, truth))
+        pending.clear()
+        self._last_ref = (arrival, delay)
+        return out
+
+    def flush(self) -> List[Estimate]:
+        """Resolve the tail one-sided with the last reference's delay.
+
+        If no reference was ever seen, the buffered packets cannot be
+        estimated and are discarded (reported via :attr:`unestimated`).
+        """
+        out: List[Estimate] = []
+        if self._last_ref is not None:
+            _, d_last = self._last_ref
+            for t, key, truth in self._pending:
+                out.append(Estimate(key, t, d_last, truth))
+            self._pending.clear()
+        return out
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def unestimated(self) -> int:
+        """Packets that can never be estimated (no reference arrived)."""
+        return len(self._pending) if self._last_ref is None else 0

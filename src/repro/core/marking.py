@@ -1,0 +1,57 @@
+"""Packet-marking path classifier (paper Section 3.1, downstream case).
+
+"Packet marking is a simple way to address the issue, where the
+type-of-service (ToS) field in the IP header could be used to mark packets,
+similar to prior solutions for IP traceback.  While this is certainly an
+easy approach, it requires some native packet marking support from core
+routers."
+
+In the simulator, a core router configured with ``mark=m`` stamps ``m`` into
+the DSCP bits of every packet it forwards (see
+:class:`repro.sim.switch.Switch`).  The classifier below is the receiver
+side: it decodes the mark and maps it to the RLI sender instance installed
+on that core router.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..net.headers import MARK_UNSET, decode_mark
+from ..net.packet import Packet
+
+__all__ = ["MarkingClassifier", "assign_marks"]
+
+
+class MarkingClassifier:
+    """Map a packet's ToS mark to the sender instance on the marking router."""
+
+    def __init__(self, mark_to_sender: Dict[int, int]):
+        if MARK_UNSET in mark_to_sender:
+            raise ValueError("mark 0 means 'unmarked' and cannot map to a sender")
+        if not mark_to_sender:
+            raise ValueError("at least one mark required")
+        self._map = dict(mark_to_sender)
+
+    def __call__(self, packet: Packet) -> Optional[int]:
+        mark = decode_mark(packet.tos)
+        if mark == MARK_UNSET:
+            return None
+        return self._map.get(mark)
+
+    def __repr__(self) -> str:
+        return f"MarkingClassifier({self._map})"
+
+
+def assign_marks(node_ids) -> Dict[int, int]:
+    """Assign distinct non-zero marks to an iterable of router node ids.
+
+    Returns ``node_id -> mark``.  Raises if more routers than the mark space
+    (63 DSCP values) can distinguish.
+    """
+    from ..net.headers import MAX_MARK
+
+    nodes = list(node_ids)
+    if len(nodes) > MAX_MARK:
+        raise ValueError(f"cannot assign {len(nodes)} marks; ToS space has {MAX_MARK}")
+    return {node: mark for mark, node in enumerate(nodes, start=1)}

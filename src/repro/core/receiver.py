@@ -1,0 +1,165 @@
+"""RLI receiver: per-stream interpolation and per-flow aggregation.
+
+"The RLI receiver then easily obtains true delays of these special packets
+based on the local clock.  The delay samples can then be used to approximate
+the latency of regular packets" (paper Section 2).
+
+The RLIR receiver extends this with one interpolation buffer *per stream*
+(per associated sender / path class), selected by a demultiplexer — the fix
+for traffic multiplexing across routers (Section 3.1).  Interpolating a
+packet against a reference that took a different path would violate delay
+locality; the demux guarantees every estimate uses references that shared
+the packet's path segment.
+
+Ground truth: the simulator stamps each packet's segment entry time
+(``tap_time``) at the sender's interface; the receiver records
+``arrival − tap_time`` as the packet's true delay next to its estimate, so
+per-flow relative errors are computed against exact truth, as in the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..net.packet import Packet
+from ..sim.clock import Clock, PerfectClock
+from .demux import Demux
+from .flowstats import BoundedFlowStatsTable, FlowStatsTable
+from .interpolation import Estimate, InterpolationBuffer
+from .quantiles import FlowQuantileTable
+
+__all__ = ["RliReceiver"]
+
+
+class RliReceiver:
+    """One RLI receiver instance on one interface.
+
+    Parameters
+    ----------
+    demux:
+        Stream demultiplexer (see :mod:`repro.core.demux`).
+    clock:
+        Local clock used to timestamp reference arrivals; sync error vs the
+        senders' clocks biases delay samples (ablation knob).
+    estimator:
+        Interpolation strategy (``"linear"`` is the paper's).
+    collect_estimates:
+        If True, keep every per-packet :class:`Estimate` for packet-level
+        analysis (memory-heavy; per-flow tables are always kept).
+    max_flows:
+        Optional flow-table memory bound; when set, both the estimated and
+        true tables become LRU-evicting
+        :class:`~repro.core.flowstats.BoundedFlowStatsTable` instances,
+        modelling a hardware instance's fixed-size flow cache.
+    quantiles:
+        Optional sequence of quantiles (e.g. ``(0.5, 0.95, 0.99)``).  When
+        set, the receiver additionally maintains streaming P² per-flow
+        quantile estimates of both estimated and true delays
+        (:attr:`flow_estimated_quantiles` / :attr:`flow_true_quantiles`) —
+        the tail view mean/σ cannot give.
+    """
+
+    def __init__(
+        self,
+        demux: Demux,
+        clock: Optional[Clock] = None,
+        estimator: str = "linear",
+        collect_estimates: bool = False,
+        max_flows: Optional[int] = None,
+        quantiles: Optional[Sequence[float]] = None,
+    ):
+        self.demux = demux
+        self.clock = clock or PerfectClock()
+        self.estimator = estimator
+        self.collect_estimates = collect_estimates
+        self.estimates: List[Estimate] = []
+        self._buffers: Dict[int, InterpolationBuffer] = {}
+        if max_flows is None:
+            self.flow_estimated = FlowStatsTable()
+            self.flow_true = FlowStatsTable()
+        else:
+            self.flow_estimated = BoundedFlowStatsTable(max_flows)
+            self.flow_true = BoundedFlowStatsTable(max_flows)
+        self.flow_estimated_quantiles: Optional[FlowQuantileTable] = None
+        self.flow_true_quantiles: Optional[FlowQuantileTable] = None
+        if quantiles is not None:
+            self.flow_estimated_quantiles = FlowQuantileTable(quantiles)
+            self.flow_true_quantiles = FlowQuantileTable(quantiles)
+        self.regulars_measured = 0
+        self.regulars_ignored = 0
+        self.references_accepted = 0
+        self.references_ignored = 0
+        self.missing_tap = 0
+        self.unestimated = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+
+    def observe(self, packet: Packet, now: float) -> None:
+        """Feed one packet arriving at this receiver's interface."""
+        if self._finalized:
+            raise RuntimeError("receiver already finalized")
+        if packet.is_reference:
+            stream = self.demux.classify_reference(packet)
+            if stream is None:
+                self.references_ignored += 1
+                return
+            self.references_accepted += 1
+            delay = self.clock.now(now) - packet.ref_timestamp
+            for estimate in self._buffer(stream).add_reference(now, delay):
+                self._record(estimate)
+        elif packet.is_regular:
+            stream = self.demux.classify_regular(packet)
+            if stream is None:
+                self.regulars_ignored += 1
+                return
+            if packet.tap_time is None:
+                # never crossed the associated sender's interface: cannot
+                # have a ground-truth segment delay, so don't measure it
+                self.missing_tap += 1
+                return
+            self.regulars_measured += 1
+            truth = now - packet.tap_time
+            self.flow_true.add(packet.flow_key, truth)
+            if self.flow_true_quantiles is not None:
+                self.flow_true_quantiles.add(packet.flow_key, truth)
+            self._buffer(stream).add_regular(now, packet.flow_key, truth)
+
+    def finalize(self) -> None:
+        """Flush the one-sided tails of every stream buffer (idempotent)."""
+        if self._finalized:
+            return
+        for buffer in self._buffers.values():
+            for estimate in buffer.flush():
+                self._record(estimate)
+            self.unestimated += buffer.unestimated
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+
+    def _buffer(self, stream: int) -> InterpolationBuffer:
+        buffer = self._buffers.get(stream)
+        if buffer is None:
+            buffer = InterpolationBuffer(self.estimator)
+            self._buffers[stream] = buffer
+        return buffer
+
+    def _record(self, estimate: Estimate) -> None:
+        self.flow_estimated.add(estimate.key, estimate.estimated)
+        if self.flow_estimated_quantiles is not None:
+            self.flow_estimated_quantiles.add(estimate.key, estimate.estimated)
+        if self.collect_estimates:
+            self.estimates.append(estimate)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stream_count(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:
+        return (
+            f"RliReceiver(streams={self.stream_count}, measured={self.regulars_measured}, "
+            f"refs={self.references_accepted}, estimator={self.estimator!r})"
+        )

@@ -1,0 +1,54 @@
+"""Reverse-ECMP path classifier (paper Section 3.1, downstream case).
+
+"The other approach is to leverage the routing information to isolate the
+exact path a given packet may have taken from the source router ... we can
+potentially persuade the switch vendors to reveal [the hash functions], in
+which case, we can 'reverse' engineer the intermediate router through which
+a packet may have originated. ... This become[s] definitely more cumbersome
+than the packet marking approach, but requires fewer firmware changes in
+the routers."
+
+Given the topology's hash functions (the "vendor-revealed" knowledge) and a
+packet's flow key, the receiver recomputes the upward ECMP choices the
+packet's source-side switches made — edge → aggregation, aggregation → core
+— and thereby identifies the core router the packet crossed, without any
+in-band support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..net.packet import Packet
+from ..sim.topology import FatTree
+
+__all__ = ["ReverseEcmpClassifier"]
+
+
+class ReverseEcmpClassifier:
+    """Recompute upstream ECMP choices to find the traversed core router.
+
+    Parameters
+    ----------
+    fattree:
+        The fabric whose hash functions the receiver knows.
+    core_to_sender:
+        ``core node_id -> sender instance id`` for the instrumented cores.
+    """
+
+    def __init__(self, fattree: FatTree, core_to_sender: Dict[int, int]):
+        if not core_to_sender:
+            raise ValueError("at least one instrumented core required")
+        self._fattree = fattree
+        self._map = dict(core_to_sender)
+
+    def __call__(self, packet: Packet) -> Optional[int]:
+        try:
+            core = self._fattree.core_of(packet.flow_key)
+        except ValueError:
+            # intra-ToR or intra-pod flow: never crossed a core
+            return None
+        return self._map.get(core.node_id)
+
+    def __repr__(self) -> str:
+        return f"ReverseEcmpClassifier(cores={sorted(self._map)})"

@@ -1,0 +1,155 @@
+"""RLI sender: taps an interface and injects reference packets.
+
+"An RLI sender regularly injects special packets called reference packets
+that carry a (hardware) timestamp to an RLI receiver" (paper Section 2).
+
+The sender is attached to one egress interface.  For every regular packet it
+observes, it updates its local-link utilization estimate and a per-path-class
+counter; when the counter reaches the injection policy's current 1-and-n gap
+it emits a reference packet *for that path class*.
+
+Path classes implement the RLIR requirement that "each sender sends
+reference packets to all intermediate receivers through which its packets
+may cross" (Section 3.1): in a multipath fabric the sender carries one
+reference template per equal-cost path (crafted with
+:func:`repro.sim.ecmp.craft_dport_for_port` so the fabric hashes it onto the
+intended path), and a ``classify`` callback assigns each observed regular
+packet to the class whose path it will take.  Single-path deployments (the
+paper's two-switch pipeline) use the default single class.
+
+The sender is environment-agnostic: it returns the reference packets to
+inject and the caller (pipeline driver or event-engine tap) puts them on the
+wire immediately behind the observed packet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..net.packet import Packet, PacketKind
+from ..sim.clock import Clock, PerfectClock
+from .injection import InjectionPolicy, StaticInjection
+from .utilization import EwmaUtilization
+
+__all__ = ["RefTemplate", "RliSender", "REFERENCE_PACKET_SIZE"]
+
+REFERENCE_PACKET_SIZE = 64  # minimum-size probe, as in RLI
+
+
+class RefTemplate:
+    """Header fields for the reference packets of one path class."""
+
+    __slots__ = ("src", "dst", "sport", "dport", "proto", "size")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        sport: int = 0,
+        dport: int = 0,
+        proto: int = 253,  # IANA "use for experimentation"
+        size: int = REFERENCE_PACKET_SIZE,
+    ):
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.proto = proto
+        self.size = size
+
+
+class RliSender:
+    """One RLI sender instance on one interface.
+
+    Parameters
+    ----------
+    sender_id:
+        Globally unique instance ID carried by every reference packet so
+        receivers can demultiplex reference streams (paper Section 3.1).
+    link_rate_bps:
+        Capacity of the local link — the only utilization the sender can
+        see, per the paper's cross-traffic discussion.
+    policy:
+        Injection policy (static or adaptive 1-and-n).
+    templates:
+        ``path_class -> RefTemplate``.  Defaults to a single class 0 with a
+        placeholder template (callers that only need counters may ignore the
+        header fields).
+    classify:
+        ``packet -> Optional[path_class]`` mapping each observed regular
+        packet to a path class (None = not covered by this sender).
+    clock:
+        The sender's timestamping clock.
+    """
+
+    def __init__(
+        self,
+        sender_id: int,
+        link_rate_bps: float,
+        policy: Optional[InjectionPolicy] = None,
+        templates: Optional[Dict[int, RefTemplate]] = None,
+        classify: Optional[Callable[[Packet], Optional[int]]] = None,
+        clock: Optional[Clock] = None,
+        util_window: float = 0.01,
+        util_alpha: float = 0.3,
+    ):
+        self.sender_id = sender_id
+        self.policy = policy or StaticInjection(100)
+        self.templates = templates if templates is not None else {0: RefTemplate(0, 0)}
+        if not self.templates:
+            raise ValueError("sender needs at least one reference template")
+        self._classify = classify or (lambda packet: 0)
+        self.clock = clock or PerfectClock()
+        self.utilization = EwmaUtilization(link_rate_bps, window=util_window, alpha=util_alpha)
+        self._counters: Dict[int, int] = {cls: 0 for cls in self.templates}
+        self.regulars_seen = 0
+        self.refs_injected = 0
+
+    # ------------------------------------------------------------------
+
+    def on_regular(self, packet: Packet, now: float) -> Optional[List[Packet]]:
+        """Observe one regular packet at the interface.
+
+        Returns reference packets to inject immediately after it (or None).
+        """
+        self.utilization.observe(now, packet.size)
+        cls = self._classify(packet)
+        if cls is None or cls not in self._counters:
+            return None
+        self.regulars_seen += 1
+        count = self._counters[cls] + 1
+        if count < self.policy.gap(self.utilization.estimate):
+            self._counters[cls] = count
+            return None
+        self._counters[cls] = 0
+        return [self.make_reference(cls, now)]
+
+    def make_reference(self, path_class: int, now: float) -> Packet:
+        """Build a timestamped reference packet for *path_class*."""
+        template = self.templates[path_class]
+        ref = Packet(
+            src=template.src,
+            dst=template.dst,
+            sport=template.sport,
+            dport=template.dport,
+            proto=template.proto,
+            size=template.size,
+            ts=now,
+            kind=PacketKind.REFERENCE,
+            sender_id=self.sender_id,
+            ref_timestamp=self.clock.now(now),
+        )
+        ref.tap_time = now
+        self.refs_injected += 1
+        return ref
+
+    @property
+    def current_gap(self) -> int:
+        """The 1-and-n gap the policy currently prescribes."""
+        return self.policy.gap(self.utilization.estimate)
+
+    def __repr__(self) -> str:
+        return (
+            f"RliSender(id={self.sender_id}, policy={self.policy!r}, "
+            f"classes={sorted(self.templates)}, refs={self.refs_injected})"
+        )

@@ -1,0 +1,76 @@
+"""Sender-side link-utilization estimation.
+
+The adaptive injection scheme "dynamically adjusts the injection rate based
+on the link utilization of a link where the sender is running" (paper
+Section 4.1).  The sender can only see its *local* link — which is precisely
+why adaptation misbehaves across routers: "the sender cannot easily estimate
+utilization across routers, because it has no idea about the amount of cross
+traffic at intermediate routers" (Section 1).
+
+:class:`EwmaUtilization` measures offered bytes on the local link over fixed
+windows and smooths across windows with an exponential weighted moving
+average, the standard router-side utilization estimator.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EwmaUtilization"]
+
+
+class EwmaUtilization:
+    """Windowed, EWMA-smoothed utilization of one link.
+
+    Parameters
+    ----------
+    rate_bps:
+        Link capacity.
+    window:
+        Measurement window in seconds.
+    alpha:
+        EWMA weight of the newest window (1.0 = no smoothing).
+    initial:
+        Estimate reported before the first window completes.
+    """
+
+    def __init__(self, rate_bps: float, window: float = 0.01, alpha: float = 0.3, initial: float = 0.0):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive: {rate_bps}")
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self._capacity_per_window = rate_bps / 8.0 * window
+        self.window = window
+        self.alpha = alpha
+        self._estimate = initial
+        self._window_start = 0.0
+        self._window_bytes = 0
+        self._seen_any = False
+
+    def observe(self, now: float, size_bytes: int) -> None:
+        """Account one packet of *size_bytes* passing at time *now*.
+
+        Packets must be observed in non-decreasing time order.  Crossing a
+        window boundary folds the finished window(s) into the EWMA; windows
+        with no traffic count as zero utilization.
+        """
+        if not self._seen_any:
+            self._window_start = now - (now % self.window)
+            self._seen_any = True
+        while now >= self._window_start + self.window:
+            self._fold_window()
+        self._window_bytes += size_bytes
+
+    def _fold_window(self) -> None:
+        sample = min(1.0, self._window_bytes / self._capacity_per_window)
+        self._estimate += self.alpha * (sample - self._estimate)
+        self._window_bytes = 0
+        self._window_start += self.window
+
+    @property
+    def estimate(self) -> float:
+        """Current smoothed utilization in [0, 1]."""
+        return self._estimate
+
+    def __repr__(self) -> str:
+        return f"EwmaUtilization(window={self.window}, alpha={self.alpha}, est={self._estimate:.3f})"

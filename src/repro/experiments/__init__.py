@@ -1,0 +1,43 @@
+"""Experiment drivers regenerating every quantitative figure/table of the
+paper, plus ablations."""
+
+from .ablations import (
+    run_baseline_comparison,
+    run_estimator_ablation,
+    run_injection_sweep,
+    run_sync_error_ablation,
+)
+from .config import ExperimentConfig, default_scale
+from .extensions import (
+    run_granularity_comparison,
+    run_memory_ablation,
+    run_multihop_ablation,
+    run_ptp_study,
+)
+from .fig4 import Fig4Curve, run_fig4ab, run_fig4c
+from .fig5 import Fig5Row, run_fig5
+from .placement import PlacementRow, run_placement
+from .workloads import ConditionResult, PipelineWorkload, run_condition
+
+__all__ = [
+    "run_granularity_comparison",
+    "run_memory_ablation",
+    "run_multihop_ablation",
+    "run_ptp_study",
+    "run_baseline_comparison",
+    "run_estimator_ablation",
+    "run_injection_sweep",
+    "run_sync_error_ablation",
+    "ExperimentConfig",
+    "default_scale",
+    "Fig4Curve",
+    "run_fig4ab",
+    "run_fig4c",
+    "Fig5Row",
+    "run_fig5",
+    "PlacementRow",
+    "run_placement",
+    "ConditionResult",
+    "PipelineWorkload",
+    "run_condition",
+]

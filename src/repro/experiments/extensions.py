@@ -1,0 +1,362 @@
+"""Extension studies beyond the paper's figures.
+
+These exercise the parts of the design space the paper names but does not
+quantify, each with a bench:
+
+* :func:`run_multihop_ablation` — accuracy of one RLI pair measuring across
+  a growing chain of queues ("across multiple hops", Section 4), with
+  cross traffic at every hop;
+* :func:`run_granularity_comparison` — full RLI vs RLIR on the same
+  degraded fabric: instance cost vs localization granularity, the paper's
+  central trade-off, measured;
+* :func:`run_memory_ablation` — estimation coverage when receivers bound
+  their flow-table memory (hardware reality for 1.45 M-flow traces);
+* :func:`run_ptp_study` — how path noise during IEEE 1588 sync propagates
+  into per-flow estimation bias (the paper's sync prerequisite, quantified).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.cdf import Ecdf
+from ..analysis.metrics import flow_mean_errors
+from ..core.full_rli import FullRliDeployment
+from ..core.injection import StaticInjection
+from ..core.localization import localize
+from ..core.placement import instances_tor_pair
+from ..core.receiver import RliReceiver
+from ..core.rlir import RlirDeployment
+from ..sim.chain import ChainConfig, SwitchChain
+from ..sim.ptp import PtpSession
+from ..sim.topology import FatTree, LinkParams
+from ..traffic.crosstraffic import UniformModel, calibrate_selection_probability
+from ..traffic.synthetic import TraceConfig, generate_fattree_trace
+from .config import ExperimentConfig
+from .workloads import PipelineWorkload
+
+__all__ = [
+    "run_multihop_ablation",
+    "run_granularity_comparison",
+    "run_memory_ablation",
+    "run_ptp_study",
+    "run_tail_accuracy",
+    "run_mesh_study",
+    "run_aqm_comparison",
+]
+
+
+def run_multihop_ablation(
+    cfg: Optional[ExperimentConfig] = None,
+    hops: Sequence[int] = (1, 2, 4, 8),
+    utilization: float = 0.80,
+) -> List[Tuple[int, float, float]]:
+    """(n_hops, median flow-mean RE, mean true latency) per chain length.
+
+    Cross traffic is injected independently at *every* hop, calibrated so
+    each hop runs at *utilization* — the hardest case for delay locality
+    across a multi-router segment, since the segment delay is a sum of
+    independent queues.
+    """
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+    prob = calibrate_selection_probability(
+        workload.cross,
+        regular_bytes=workload.regular.total_bytes,
+        rate_bps=workload.rate_bps,
+        duration=cfg.duration,
+        target_utilization=utilization,
+    )
+    rows = []
+    for n_hops in hops:
+        sender = workload.make_sender("static")
+        receiver = workload.make_receiver()
+        cross_per_hop = {
+            hop: UniformModel(prob, seed=100 + hop).arrivals(workload.cross)
+            for hop in range(n_hops)
+        }
+        chain = SwitchChain(ChainConfig(
+            n_hops=n_hops,
+            rate_bps=workload.rate_bps,
+            buffer_bytes=cfg.buffer_bytes,
+            proc_delay=cfg.proc_delay,
+        ))
+        chain.run(workload.regular.clone_packets(), cross_per_hop,
+                  sender=sender, receiver=receiver, duration=cfg.duration)
+        receiver.finalize()
+        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
+        from ..core.flowstats import StreamingStats
+
+        pooled = StreamingStats()
+        for _, stats in receiver.flow_true.items():
+            pooled.merge(stats)
+        rows.append((n_hops, Ecdf(join.errors).median, pooled.mean))
+    return rows
+
+
+class GranularityRow:
+    """One deployment's cost and localization outcome."""
+
+    def __init__(self, name: str, instances: int, n_segments: int,
+                 culprit: Optional[str], pinned_to_single_queue: bool):
+        self.name = name
+        self.instances = instances
+        self.n_segments = n_segments
+        self.culprit = culprit
+        self.pinned_to_single_queue = pinned_to_single_queue
+
+
+def _degraded_fattree(slow_factor: float = 4.0) -> FatTree:
+    """A k=4 fabric with one core egress link running slow_factor slower."""
+    ft = FatTree(4, LinkParams(rate_bps=40e6, buffer_bytes=128 * 1024,
+                               proc_delay=1e-6, prop_delay=0.5e-6))
+    core = ft.cores[0][0]
+    port = core.ports[ft.port_toward(core, ft.aggs[1][0])]
+    port.queue.set_rate(40e6 / slow_factor)
+    return ft
+
+
+def _granularity_trace(ft: FatTree, n_packets: int, seed: int = 21):
+    pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
+             for h in range(2) for g in range(2)]
+    return generate_fattree_trace(
+        TraceConfig(duration=1.0, n_packets=n_packets, mean_flow_pkts=12.0),
+        pairs, seed=seed, name="granularity")
+
+
+def run_granularity_comparison(n_packets: int = 10_000) -> List[GranularityRow]:
+    """Full RLI vs RLIR, one slow queue (core(0,0)→dst pod) injected.
+
+    Expected: both localize correctly at their own granularity — full RLI
+    names the exact hop, RLIR the containing multi-router segment — while
+    RLIR uses fewer instances (k+2 per interface pair vs per-hop pairs).
+    """
+    rows = []
+
+    ft_full = _degraded_fattree()
+    full = FullRliDeployment(ft_full, src=(0, 0), dst=(1, 0),
+                             policy_factory=lambda: StaticInjection(10))
+    full_result = full.run([_granularity_trace(ft_full, n_packets)])
+    full_report = localize(full_result.segments(), factor=2.0, floor=5e-6,
+                           min_samples=20)
+    rows.append(GranularityRow(
+        "full RLI", full_result.instance_count(), len(full_result.receivers),
+        full_report.culprit,
+        pinned_to_single_queue=(full_report.culprit == "C:cores->agg0"),
+    ))
+
+    ft_rlir = _degraded_fattree()
+    rlir = RlirDeployment(ft_rlir, src=(0, 0), dst=(1, 0),
+                          policy_factory=lambda: StaticInjection(10))
+    rlir_result = rlir.run([_granularity_trace(ft_rlir, n_packets)])
+    rlir_report = localize(rlir_result.segments(), factor=2.0, floor=5e-6,
+                           min_samples=20)
+    rows.append(GranularityRow(
+        "RLIR", instances_tor_pair(4), len(rlir_result.segments()),
+        rlir_report.culprit,
+        pinned_to_single_queue=False,  # segment granularity by design
+    ))
+    return rows
+
+
+def run_memory_ablation(
+    cfg: Optional[ExperimentConfig] = None,
+    utilization: float = 0.93,
+    bounds: Sequence[Optional[int]] = (None, 4096, 1024, 256),
+) -> List[Tuple[Optional[int], int, int, float]]:
+    """(max_flows, flows retained, samples evicted, median RE of survivors)
+    per flow-table bound."""
+    from ..sim.pipeline import TwoSwitchPipeline
+
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+    rows = []
+    for bound in bounds:
+        sender = workload.make_sender("static")
+        receiver = RliReceiver(
+            demux=workload.make_receiver().demux,
+            max_flows=bound,
+        )
+        pipeline = TwoSwitchPipeline(workload.pipeline_config)
+        pipeline.run(
+            regular=workload.regular.clone_packets(),
+            cross=workload.cross_arrivals("random", utilization),
+            sender=sender,
+            receiver=receiver,
+            duration=cfg.duration,
+        )
+        receiver.finalize()
+        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
+        evicted = getattr(receiver.flow_estimated, "evicted_samples", 0)
+        median = Ecdf(join.errors).median if join.errors else float("nan")
+        rows.append((bound, len(receiver.flow_true), evicted, median))
+    return rows
+
+
+def run_ptp_study(
+    jitters: Sequence[float] = (0.0, 1e-6, 10e-6, 100e-6),
+    true_offset: float = 250e-6,
+    rounds: int = 32,
+    seeds: int = 5,
+) -> List[Tuple[float, float]]:
+    """(path queue jitter, mean |residual sync error|) per jitter level.
+
+    Residual error is the bias every RLI delay sample inherits; compare
+    against the delay scales in the Figure-4 benches to judge whether a
+    software-PTP deployment suffices or hardware timestamping is needed.
+    """
+    rows = []
+    for jitter in jitters:
+        total = 0.0
+        for seed in range(seeds):
+            session = PtpSession(true_offset=true_offset, queue_jitter=jitter,
+                                 seed=seed)
+            total += abs(session.synchronize(rounds=rounds).residual_error)
+        rows.append((jitter, total / seeds))
+    return rows
+
+
+def run_tail_accuracy(
+    cfg: Optional[ExperimentConfig] = None,
+    utilization: float = 0.93,
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+    min_packets: int = 20,
+) -> Dict[float, Ecdf]:
+    """Per-flow tail-quantile accuracy: quantile → Ecdf of relative errors.
+
+    Runs the standard 93%-utilization pipeline with a quantile-enabled
+    receiver (streaming P² estimators on both the estimated and true delay
+    streams) and scores per-flow p50/p95/p99 estimates against per-flow
+    true quantiles, restricted to flows with at least *min_packets* packets
+    (tails of tiny flows are not meaningful).
+    """
+    from ..sim.pipeline import TwoSwitchPipeline
+
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+    sender = workload.make_sender("adaptive")
+    receiver = RliReceiver(
+        demux=workload.make_receiver().demux,
+        quantiles=quantiles,
+    )
+    pipeline = TwoSwitchPipeline(workload.pipeline_config)
+    pipeline.run(
+        regular=workload.regular.clone_packets(),
+        cross=workload.cross_arrivals("random", utilization),
+        sender=sender,
+        receiver=receiver,
+        duration=cfg.duration,
+    )
+    receiver.finalize()
+
+    errors: Dict[float, List[float]] = {q: [] for q in quantiles}
+    for key, estimated in receiver.flow_estimated_quantiles.items():
+        truth_stats = receiver.flow_true.get(key)
+        if truth_stats is None or truth_stats.count < min_packets:
+            continue
+        truth = receiver.flow_true_quantiles.get(key)
+        for q in quantiles:
+            if truth[q] > 0:
+                errors[q].append(abs(estimated[q] - truth[q]) / truth[q])
+    return {q: Ecdf(err) for q, err in errors.items() if err}
+
+
+def run_mesh_study(
+    n_packets_per_pair: int = 8000,
+    pairs: Sequence[Tuple[Tuple[int, int], Tuple[int, int]]] = (
+        ((0, 0), (1, 0)),
+        ((0, 1), (2, 1)),
+        ((3, 0), (1, 1)),
+    ),
+) -> List[Tuple[str, int, float, float]]:
+    """Multi-pair mesh on one fabric: (pair, flows, seg2 median RE,
+    e2e median RE) per measured ToR pair.
+
+    All pairs share the fabric and the core measurement instances, so each
+    pair's traffic is cross traffic for the others — the across-routers
+    regime with realistic interference.
+    """
+    from ..core.mesh import RlirMesh
+
+    ft = FatTree(4, LinkParams(rate_bps=40e6, buffer_bytes=256 * 1024,
+                               proc_delay=1e-6, prop_delay=0.5e-6))
+    mesh = RlirMesh(ft, list(pairs), policy_factory=lambda: StaticInjection(20))
+    traces = []
+    for i, (src, dst) in enumerate(pairs):
+        host_pairs = [(ft.host_address(*src, h), ft.host_address(*dst, g))
+                      for h in range(2) for g in range(2)]
+        traces.append(generate_fattree_trace(
+            TraceConfig(duration=1.0, n_packets=n_packets_per_pair,
+                        mean_flow_pkts=12.0),
+            host_pairs, seed=30 + i, name=f"{src}->{dst}"))
+    result = mesh.run(traces)
+
+    rows = []
+    for src, dst in pairs:
+        view = result.pair(src, dst)
+        j2 = flow_mean_errors(view.segment2_estimated(), view.segment2_true())
+        e2e = view.end_to_end()
+        e2e_errors = [abs(e - t) / t for _, e, t in e2e if t > 0]
+        rows.append((
+            f"{src}->{dst}",
+            len(j2.errors),
+            Ecdf(j2.errors).median if j2.errors else float("nan"),
+            Ecdf(e2e_errors).median if e2e_errors else float("nan"),
+        ))
+    return rows
+
+
+def run_aqm_comparison(
+    cfg: Optional[ExperimentConfig] = None,
+    utilization: float = 0.95,
+) -> List[Tuple[str, float, float, int]]:
+    """(queue discipline, regular loss rate, median flow-mean RE, refs lost)
+    under tail-drop vs RED bottleneck queues on the identical workload.
+
+    Drop *placement* matters to the measurement plane: RED kills reference
+    packets probabilistically in proportion to load (widening interpolation
+    intervals smoothly), while tail-drop loses them in full-buffer bursts.
+    """
+    from functools import partial
+
+    from ..net.packet import PacketKind
+    from ..sim.pipeline import PipelineConfig, TwoSwitchPipeline
+    from ..sim.red import RedQueue
+
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+
+    def red_factory(rate, buffer_bytes, proc, name):
+        return RedQueue(rate, buffer_bytes, proc, name,
+                        min_th_bytes=buffer_bytes // 8,
+                        max_th_bytes=buffer_bytes // 2,
+                        max_p=0.2, seed=5)
+
+    rows = []
+    for discipline, factory in (("tail-drop", None), ("RED", red_factory)):
+        pipe_cfg = PipelineConfig(
+            rate1_bps=workload.rate_bps,
+            rate2_bps=workload.rate_bps,
+            buffer1_bytes=cfg.buffer_bytes,
+            buffer2_bytes=cfg.buffer_bytes,
+            proc_delay=cfg.proc_delay,
+            queue_factory=factory,
+        )
+        sender = workload.make_sender("static")
+        receiver = workload.make_receiver()
+        result = TwoSwitchPipeline(pipe_cfg).run(
+            regular=workload.regular.clone_packets(),
+            cross=workload.cross_arrivals("random", utilization),
+            sender=sender,
+            receiver=receiver,
+            duration=cfg.duration,
+        )
+        receiver.finalize()
+        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
+        rows.append((
+            discipline,
+            result.loss_rate(PacketKind.REGULAR),
+            Ecdf(join.errors).median,
+            result.drops2[PacketKind.REFERENCE],
+        ))
+    return rows

@@ -1,0 +1,99 @@
+"""Figure 4 experiment drivers: per-flow estimation accuracy CDFs.
+
+* Figure 4(a): relative error of per-flow **mean** latency estimates,
+  {adaptive, static} × {67 %, 93 %} utilization, random cross traffic.
+* Figure 4(b): same for per-flow **standard deviation** estimates.
+* Figure 4(c): mean estimates, **bursty vs random** cross traffic at
+  {34 %, 67 %} utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.cdf import Ecdf
+from ..analysis.metrics import FlowErrorJoin, flow_mean_errors, flow_std_errors
+from .config import ExperimentConfig
+from .workloads import ConditionResult, PipelineWorkload, run_condition
+
+__all__ = ["Fig4Curve", "run_fig4ab", "run_fig4c"]
+
+
+class Fig4Curve:
+    """One CDF curve of Figure 4, with its provenance."""
+
+    def __init__(
+        self,
+        label: str,
+        condition: ConditionResult,
+        mean_join: FlowErrorJoin,
+        std_join: FlowErrorJoin,
+    ):
+        self.label = label
+        self.condition = condition
+        self.mean_join = mean_join
+        self.std_join = std_join
+
+    @property
+    def mean_ecdf(self) -> Ecdf:
+        return Ecdf(self.mean_join.errors)
+
+    @property
+    def std_ecdf(self) -> Optional[Ecdf]:
+        return Ecdf(self.std_join.errors) if self.std_join.errors else None
+
+    def summary_row(self) -> List[object]:
+        """One printable row: the numbers the paper quotes in prose."""
+        mean = self.mean_ecdf
+        std = self.std_ecdf
+        return [
+            self.label,
+            f"{self.condition.measured_util:.0%}",
+            f"{self.condition.mean_true_latency * 1e6:.1f}",
+            f"{mean.median:.3f}",
+            f"{mean.fraction_below(0.10):.0%}",
+            f"{std.median:.3f}" if std else "n/a",
+            self.condition.sender.refs_injected,
+        ]
+
+
+def _measure(label: str, condition: ConditionResult) -> Fig4Curve:
+    receiver = condition.receiver
+    return Fig4Curve(
+        label,
+        condition,
+        flow_mean_errors(receiver.flow_estimated, receiver.flow_true),
+        flow_std_errors(receiver.flow_estimated, receiver.flow_true),
+    )
+
+
+def run_fig4ab(cfg: Optional[ExperimentConfig] = None) -> List[Fig4Curve]:
+    """The four curves of Figures 4(a) and 4(b).
+
+    Returns curves labelled ``{scheme}, {util}`` in the paper's legend
+    order: adaptive/93, static/93, adaptive/67, static/67.
+    """
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+    curves = []
+    for util in sorted(cfg.fig4ab_utilizations, reverse=True):
+        for scheme in ("adaptive", "static"):
+            condition = run_condition(workload, scheme, "random", util)
+            curves.append(_measure(f"{scheme}, {util:.0%}", condition))
+    return curves
+
+
+def run_fig4c(cfg: Optional[ExperimentConfig] = None) -> List[Fig4Curve]:
+    """The four curves of Figure 4(c): bursty vs random at 34 % and 67 %.
+
+    The paper uses the adaptive scheme's accuracy for this comparison;
+    injection is held fixed (adaptive) while the cross-traffic model varies.
+    """
+    cfg = cfg or ExperimentConfig()
+    workload = PipelineWorkload(cfg)
+    curves = []
+    for model in ("bursty", "random"):
+        for util in sorted(cfg.fig4c_utilizations, reverse=True):
+            condition = run_condition(workload, "adaptive", model, util)
+            curves.append(_measure(f"{model}, {util:.0%}", condition))
+    return curves

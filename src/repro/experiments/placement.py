@@ -1,0 +1,71 @@
+"""Placement-complexity experiment (paper Section 3.1, in-text analysis).
+
+For a sweep of fat-tree arities, compares the paper's closed-form instance
+counts with what the concrete planner enumerates on a built topology, and
+with full deployment — the quantitative argument for partial placement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.placement import (
+    RlirPlacement,
+    instances_all_tor_pairs_enumerated,
+    instances_all_tor_pairs_paper,
+    instances_full_deployment,
+    instances_interface_pair,
+    instances_tor_pair,
+)
+from ..sim.topology import FatTree
+
+__all__ = ["PlacementRow", "run_placement"]
+
+
+class PlacementRow:
+    """Instance counts for one fat-tree arity."""
+
+    def __init__(self, k: int, enumerate_on_topology: bool = True):
+        self.k = k
+        self.interface_pair = instances_interface_pair(k)
+        self.tor_pair = instances_tor_pair(k)
+        self.all_tor_pairs_paper = instances_all_tor_pairs_paper(k)
+        self.all_tor_pairs_enumerated = instances_all_tor_pairs_enumerated(k)
+        self.full = instances_full_deployment(k)
+        self.enum_interface_pair = None
+        self.enum_tor_pair = None
+        self.enum_all_pairs = None
+        if enumerate_on_topology:
+            ft = FatTree(k)
+            planner = RlirPlacement(ft)
+            self.enum_interface_pair = len(planner.interface_pair((0, 0), 0, (1, 0)))
+            self.enum_tor_pair = len(planner.tor_pair((0, 0), (1, 0)))
+            self.enum_all_pairs = len(planner.all_tor_pairs())
+
+    @property
+    def savings_vs_full(self) -> float:
+        """Instance-count ratio of all-ToR-pairs RLIR over full deployment."""
+        return self.all_tor_pairs_enumerated / self.full
+
+    def as_list(self) -> List[object]:
+        return [
+            self.k,
+            self.interface_pair,
+            self.tor_pair,
+            self.all_tor_pairs_paper,
+            self.all_tor_pairs_enumerated,
+            self.full,
+            f"{self.savings_vs_full:.1%}",
+        ]
+
+
+def run_placement(
+    ks: Sequence[int] = (4, 8, 16, 32, 48),
+    enumerate_up_to: int = 16,
+) -> List[PlacementRow]:
+    """Rows for the placement table.
+
+    Topology enumeration is O(k³) switch objects, so it is verified only up
+    to ``enumerate_up_to``; larger arities report formulas only.
+    """
+    return [PlacementRow(k, enumerate_on_topology=(k <= enumerate_up_to)) for k in ks]

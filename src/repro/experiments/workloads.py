@@ -1,0 +1,192 @@
+"""Shared workload construction for the pipeline experiments.
+
+Builds (and caches) the regular/cross traces, derives the link rate that
+puts the regular workload at the paper's ~22 % operating point, and wires
+RLI senders/receivers for one condition of Figure 4/5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.demux import SingleSenderDemux
+from ..core.injection import AdaptiveInjection, InjectionPolicy, StaticInjection
+from ..core.receiver import RliReceiver
+from ..core.sender import RefTemplate, RliSender
+from ..net.addressing import Prefix, ip_to_int
+from ..net.packet import Packet
+from ..sim.pipeline import PipelineConfig, PipelineResult, TwoSwitchPipeline
+from ..traffic.crosstraffic import (
+    BurstyModel,
+    UniformModel,
+    calibrate_selection_probability,
+)
+from ..traffic.synthetic import TraceConfig, generate_trace
+from ..traffic.trace import Trace
+from .config import CROSS_SRC_BASE, REGULAR_SRC_BASE, ExperimentConfig
+
+__all__ = ["PipelineWorkload", "ConditionResult", "run_condition"]
+
+PIPELINE_SENDER_ID = 1
+
+_trace_cache: Dict[Tuple, Trace] = {}
+
+
+def _cached_trace(kind: str, cfg: ExperimentConfig) -> Trace:
+    """Build (once) the regular or cross trace for this config."""
+    key = (kind, cfg.n_regular_packets, cfg.n_cross_packets, cfg.duration, cfg.seed)
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        return trace
+    if kind == "regular":
+        tc = TraceConfig(
+            duration=cfg.duration,
+            n_packets=cfg.n_regular_packets,
+            mean_flow_pkts=cfg.mean_flow_pkts,
+            src_base=REGULAR_SRC_BASE,
+        )
+        trace = generate_trace(tc, seed=cfg.seed, name="regular")
+    elif kind == "cross":
+        tc = TraceConfig(
+            duration=cfg.duration,
+            n_packets=cfg.n_cross_packets,
+            mean_flow_pkts=cfg.mean_flow_pkts,
+            src_base=CROSS_SRC_BASE,
+            dst_base="10.10.0.0",
+        )
+        trace = generate_trace(tc, seed=cfg.seed + 1, name="cross")
+    else:
+        raise ValueError(f"unknown trace kind: {kind}")
+    _trace_cache[key] = trace
+    return trace
+
+
+class PipelineWorkload:
+    """Traces + physical parameters for one experiment configuration."""
+
+    def __init__(self, cfg: ExperimentConfig):
+        self.cfg = cfg
+        self.regular = _cached_trace("regular", cfg)
+        self.cross = _cached_trace("cross", cfg)
+        # pick the link rate that puts the regular workload alone at the
+        # paper's ~22% utilization operating point
+        self.rate_bps = self.regular.total_bytes * 8.0 / (cfg.duration * cfg.base_utilization)
+        self.pipeline_config = PipelineConfig(
+            rate1_bps=self.rate_bps,
+            rate2_bps=self.rate_bps,
+            buffer1_bytes=cfg.buffer_bytes,
+            buffer2_bytes=cfg.buffer_bytes,
+            proc_delay=cfg.proc_delay,
+        )
+        self.regular_prefix = Prefix.parse(f"{REGULAR_SRC_BASE}/16")
+
+    # ------------------------------------------------------------------
+
+    def selection_probability(self, target_util: float) -> float:
+        """Selection probability hitting *target_util* at Switch 2."""
+        return calibrate_selection_probability(
+            self.cross,
+            regular_bytes=self.regular.total_bytes,
+            rate_bps=self.rate_bps,
+            duration=self.cfg.duration,
+            target_utilization=target_util,
+        )
+
+    def cross_arrivals(self, model: str, target_util: float, seed: int = 0) -> List[Tuple[float, Packet]]:
+        """Build one run's cross-traffic arrivals under *model*."""
+        prob = self.selection_probability(target_util)
+        if model == "random":
+            return UniformModel(prob, seed=seed).arrivals(self.cross)
+        if model == "bursty":
+            return BurstyModel(
+                prob, self.cfg.bursty_on, self.cfg.bursty_period, seed=seed
+            ).arrivals(self.cross)
+        raise ValueError(f"unknown cross-traffic model: {model}")
+
+    def make_policy(self, scheme: str) -> InjectionPolicy:
+        """The paper's static 1-and-100 or adaptive 1-and-[10..300]."""
+        if scheme == "static":
+            return StaticInjection(self.cfg.static_n)
+        if scheme == "adaptive":
+            return AdaptiveInjection(self.cfg.adaptive_n_min, self.cfg.adaptive_n_max)
+        raise ValueError(f"unknown injection scheme: {scheme}")
+
+    def make_sender(self, scheme: str) -> RliSender:
+        template = RefTemplate(
+            src=ip_to_int(REGULAR_SRC_BASE) + 1,
+            dst=ip_to_int("10.2.255.254"),
+        )
+        return RliSender(
+            sender_id=PIPELINE_SENDER_ID,
+            link_rate_bps=self.rate_bps,
+            policy=self.make_policy(scheme),
+            templates={0: template},
+        )
+
+    def make_receiver(self, estimator: str = "linear") -> RliReceiver:
+        return RliReceiver(
+            demux=SingleSenderDemux(PIPELINE_SENDER_ID, regular_prefixes=[self.regular_prefix]),
+            estimator=estimator,
+        )
+
+
+class ConditionResult:
+    """Everything one (scheme, model, utilization) run produces."""
+
+    def __init__(
+        self,
+        scheme: str,
+        model: str,
+        target_util: float,
+        pipeline: PipelineResult,
+        receiver: Optional[RliReceiver],
+        sender: Optional[RliSender],
+    ):
+        self.scheme = scheme
+        self.model = model
+        self.target_util = target_util
+        self.pipeline = pipeline
+        self.receiver = receiver
+        self.sender = sender
+
+    @property
+    def measured_util(self) -> float:
+        return self.pipeline.utilization2
+
+    @property
+    def mean_true_latency(self) -> float:
+        """Pooled true mean latency of measured regular packets."""
+        from ..core.flowstats import StreamingStats
+
+        pooled = StreamingStats()
+        for _, stats in self.receiver.flow_true.items():
+            pooled.merge(stats)
+        return pooled.mean
+
+
+def run_condition(
+    workload: PipelineWorkload,
+    scheme: Optional[str],
+    model: str,
+    target_util: float,
+    estimator: str = "linear",
+    run_seed: int = 0,
+) -> ConditionResult:
+    """Run one pipeline condition.
+
+    ``scheme=None`` disables reference injection (Figure 5's baseline runs).
+    """
+    sender = workload.make_sender(scheme) if scheme is not None else None
+    receiver = workload.make_receiver(estimator) if scheme is not None else None
+    cross = workload.cross_arrivals(model, target_util, seed=run_seed)
+    pipeline = TwoSwitchPipeline(workload.pipeline_config)
+    result = pipeline.run(
+        regular=workload.regular.clone_packets(),
+        cross=cross,
+        sender=sender,
+        receiver=receiver,
+        duration=workload.cfg.duration,
+    )
+    if receiver is not None:
+        receiver.finalize()
+    return ConditionResult(scheme, model, target_util, result, receiver, sender)

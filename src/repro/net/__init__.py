@@ -1,0 +1,24 @@
+"""Packet, flow and addressing substrate shared by the simulator and RLIR."""
+
+from .addressing import Prefix, PrefixTrie, int_to_ip, ip_to_int
+from .flow import FlowKey, count_flows, flow_key_of, group_by_flow
+from .headers import MAX_MARK, MARK_UNSET, clear_mark, decode_mark, encode_mark
+from .packet import Packet, PacketKind
+
+__all__ = [
+    "Prefix",
+    "PrefixTrie",
+    "int_to_ip",
+    "ip_to_int",
+    "FlowKey",
+    "count_flows",
+    "flow_key_of",
+    "group_by_flow",
+    "MAX_MARK",
+    "MARK_UNSET",
+    "clear_mark",
+    "decode_mark",
+    "encode_mark",
+    "Packet",
+    "PacketKind",
+]

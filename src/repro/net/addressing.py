@@ -1,0 +1,222 @@
+"""IPv4 addressing utilities and longest-prefix matching.
+
+RLIR receivers identify the origin ToR switch of a regular packet by matching
+its source address against the address blocks assigned to each ToR (paper,
+Section 3.1: "the origin of regular packets can be easily identified by IP
+address block assigned for hosts in each ToR switch. Thus, upstream RLI
+receivers need to perform simple IP prefix matching").
+
+Addresses are represented as plain ``int`` (host byte order) throughout the
+library for speed; this module provides parsing, formatting, the
+:class:`Prefix` value type and a binary-trie longest-prefix-match table
+(:class:`PrefixTrie`).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "Prefix",
+    "PrefixTrie",
+]
+
+_MAX_IPV4 = (1 << 32) - 1
+
+V = TypeVar("V")
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class Prefix:
+    """An IPv4 prefix (network address + mask length).
+
+    The network address is canonicalized: host bits below the mask are
+    cleared.  Instances are immutable, hashable and ordered by
+    (network, length).
+    """
+
+    __slots__ = ("network", "length")
+
+    def __init__(self, network: int, length: int):
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length out of range: {length}")
+        if not 0 <= network <= _MAX_IPV4:
+            raise ValueError(f"network address not 32-bit: {network}")
+        self.network = network & _mask(length)
+        self.length = length
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` (a bare address means /32)."""
+        if "/" in text:
+            addr, _, length = text.partition("/")
+            return cls(ip_to_int(addr), int(length))
+        return cls(ip_to_int(text), 32)
+
+    @property
+    def mask(self) -> int:
+        return _mask(self.length)
+
+    def contains(self, address: int) -> bool:
+        """Return True if *address* falls inside this prefix."""
+        return (address & self.mask) == self.network
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """Return True if the two prefixes share any address."""
+        short = min(self.length, other.length)
+        mask = _mask(short)
+        return (self.network & mask) == (other.network & mask)
+
+    def subprefixes(self) -> Tuple["Prefix", "Prefix"]:
+        """Split into the two child prefixes one bit longer."""
+        if self.length >= 32:
+            raise ValueError("cannot split a /32")
+        child_len = self.length + 1
+        low = Prefix(self.network, child_len)
+        high = Prefix(self.network | (1 << (32 - child_len)), child_len)
+        return low, high
+
+    def __contains__(self, address: int) -> bool:
+        return self.contains(address)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Prefix)
+            and self.network == other.network
+            and self.length == other.length
+        )
+
+    def __lt__(self, other: "Prefix") -> bool:
+        return (self.network, self.length) < (other.network, other.length)
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.length))
+
+    def __repr__(self) -> str:
+        return f"Prefix({int_to_ip(self.network)}/{self.length})"
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+def _mask(length: int) -> int:
+    return (_MAX_IPV4 << (32 - length)) & _MAX_IPV4 if length else 0
+
+
+class _TrieNode(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Binary trie mapping IPv4 prefixes to values with longest-prefix match.
+
+    This is the routing/classification table used both by simulated switches
+    (downward routing in the fat-tree) and by RLIR receivers (identifying the
+    origin ToR of a regular packet).
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert(Prefix.parse("10.1.0.0/16"), "pod1")
+    >>> trie.insert(Prefix.parse("10.1.2.0/24"), "tor2")
+    >>> trie.lookup(ip_to_int("10.1.2.9"))
+    'tor2'
+    >>> trie.lookup(ip_to_int("10.1.9.9"))
+    'pod1'
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[V] = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value for *prefix*."""
+        node = self._root
+        for bit in _bits(prefix.network, prefix.length):
+            child = node.children[bit]
+            if child is None:
+                child = _TrieNode()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, address: int) -> Optional[V]:
+        """Return the value of the longest matching prefix, or None."""
+        node = self._root
+        best: Optional[V] = node.value if node.has_value else None
+        shift = 31
+        while shift >= 0:
+            node = node.children[(address >> shift) & 1]  # type: ignore[index]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+            shift -= 1
+        return best
+
+    def lookup_exact(self, prefix: Prefix) -> Optional[V]:
+        """Return the value stored at exactly *prefix*, or None."""
+        node: Optional[_TrieNode[V]] = self._root
+        for bit in _bits(prefix.network, prefix.length):
+            if node is None:
+                return None
+            node = node.children[bit]
+        if node is not None and node.has_value:
+            return node.value
+        return None
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield (prefix, value) pairs in trie order."""
+        stack: List[Tuple[_TrieNode[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(network << (32 - depth) if depth else 0, depth), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, (network << 1) | bit, depth + 1))
+
+
+def _bits(network: int, length: int) -> Iterator[int]:
+    for shift in range(31, 31 - length, -1):
+        yield (network >> shift) & 1

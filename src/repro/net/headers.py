@@ -1,0 +1,49 @@
+"""Header-field encodings used by RLIR.
+
+Packet marking (paper Section 3.1, "Downstream"): core/intermediate routers
+stamp an identifier into the IP type-of-service (ToS) byte so that a
+downstream RLIR receiver can tell which intermediate router a regular packet
+traversed — "the type-of-service (ToS) field in the IP header could be used
+to mark packets, similar to prior solutions for IP traceback".
+
+The ToS byte is 8 bits.  We reserve the low two bits (the old ECN field) and
+use the upper six bits (the DSCP field) to carry a small mark value, exactly
+as a DSCP-remarking deployment would.  ``MARK_UNSET`` (0) means "not marked".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MARK_BITS",
+    "MARK_UNSET",
+    "MAX_MARK",
+    "encode_mark",
+    "decode_mark",
+    "clear_mark",
+]
+
+MARK_BITS = 6
+_MARK_SHIFT = 2  # DSCP occupies ToS bits 2..7
+MARK_UNSET = 0
+MAX_MARK = (1 << MARK_BITS) - 1  # 63 distinct marks; mark 0 = unset
+
+
+def encode_mark(tos: int, mark: int) -> int:
+    """Return *tos* with its DSCP bits replaced by *mark*.
+
+    ``mark`` must be in ``[1, MAX_MARK]`` (0 is reserved for "unmarked").
+    The ECN bits of *tos* are preserved.
+    """
+    if not 1 <= mark <= MAX_MARK:
+        raise ValueError(f"mark out of range [1, {MAX_MARK}]: {mark}")
+    return (tos & 0b11) | (mark << _MARK_SHIFT)
+
+
+def decode_mark(tos: int) -> int:
+    """Extract the mark from a ToS byte (``MARK_UNSET`` if unmarked)."""
+    return (tos >> _MARK_SHIFT) & MAX_MARK
+
+
+def clear_mark(tos: int) -> int:
+    """Return *tos* with the mark bits cleared (ECN preserved)."""
+    return tos & 0b11

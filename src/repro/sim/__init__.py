@@ -1,0 +1,50 @@
+"""Discrete-event network simulation substrate.
+
+Provides the queues, switches, clocks, ECMP hashing, topologies and drivers
+on which the RLI/RLIR measurement architecture is evaluated: the two-switch
+pipeline of the paper's Figure 3 and full k-ary fat-trees for the
+across-routers experiments.
+"""
+
+from .chain import ChainConfig, ChainResult, SwitchChain
+from .clock import Clock, DriftingClock, OffsetClock, PerfectClock
+from .ecmp import EcmpHasher, craft_dport_for_port
+from .engine import Engine
+from .link import Port
+from .pipeline import PipelineConfig, PipelineResult, TwoSwitchPipeline
+from .ptp import PtpExchange, PtpSession
+from .queue import FifoQueue, QueueStats
+from .red import RedQueue
+from .routing import RoutingError, trace_route
+from .switch import EcmpGroup, LOCAL_DELIVERY, Switch
+from .topology import FatTree, LinkParams, Topology
+
+__all__ = [
+    "ChainConfig",
+    "ChainResult",
+    "SwitchChain",
+    "PtpExchange",
+    "PtpSession",
+    "Clock",
+    "DriftingClock",
+    "OffsetClock",
+    "PerfectClock",
+    "EcmpHasher",
+    "craft_dport_for_port",
+    "Engine",
+    "Port",
+    "PipelineConfig",
+    "PipelineResult",
+    "TwoSwitchPipeline",
+    "FifoQueue",
+    "QueueStats",
+    "RedQueue",
+    "RoutingError",
+    "trace_route",
+    "EcmpGroup",
+    "LOCAL_DELIVERY",
+    "Switch",
+    "FatTree",
+    "LinkParams",
+    "Topology",
+]

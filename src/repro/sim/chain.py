@@ -1,0 +1,159 @@
+"""N-switch chain pipeline: the Figure-3 environment across multiple hops.
+
+The paper's simulator "lets packets from the trace experience processing and
+queueing delays across multiple queues (equivalently, multiple
+routers/switches)" and evaluates RLIR "in the presence of cross traffic
+across multiple hops".  :class:`SwitchChain` generalizes
+:class:`~repro.sim.pipeline.TwoSwitchPipeline` to a chain of N switches with
+independent per-hop cross traffic: cross traffic for hop i joins just before
+switch i's queue and leaves after it (classic single-hop interfering load),
+while regular traffic (and the RLI reference stream) rides the whole chain.
+
+The RLI sender taps the entry of switch 1; the receiver observes departures
+from switch N.  The measured segment therefore spans all N queues — the
+multi-router segment an RLIR deployment measures between two instrumented
+interfaces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.packet import Packet, PacketKind
+from .queue import FifoQueue
+
+__all__ = ["ChainConfig", "ChainResult", "SwitchChain"]
+
+
+class ChainConfig:
+    """Physical parameters of an N-switch chain (uniform by default)."""
+
+    def __init__(
+        self,
+        n_hops: int = 3,
+        rate_bps: float = 1e9,
+        buffer_bytes: Optional[int] = 256 * 1024,
+        proc_delay: float = 1e-6,
+        rates_bps: Optional[Sequence[float]] = None,
+    ):
+        if n_hops < 1:
+            raise ValueError(f"need at least one hop: {n_hops}")
+        self.n_hops = n_hops
+        self.rates_bps = list(rates_bps) if rates_bps is not None else [rate_bps] * n_hops
+        if len(self.rates_bps) != n_hops:
+            raise ValueError(
+                f"rates_bps has {len(self.rates_bps)} entries for {n_hops} hops"
+            )
+        self.buffer_bytes = buffer_bytes
+        self.proc_delay = proc_delay
+
+
+class ChainResult:
+    """Counters and per-hop queue statistics from one chain run."""
+
+    def __init__(self, queues: List[FifoQueue], duration: float):
+        self.queues = queues
+        self.duration = duration
+        self.refs_injected = 0
+        self.regular_in = 0
+        self.regular_out = 0
+
+    def utilization(self, hop: int) -> float:
+        return self.queues[hop].utilization(self.duration)
+
+    @property
+    def regular_loss_rate(self) -> float:
+        return 1.0 - self.regular_out / self.regular_in if self.regular_in else 0.0
+
+
+class SwitchChain:
+    """Drive one run of the N-hop environment.
+
+    ``cross_per_hop`` maps hop index → sorted ``(arrival, packet)`` cross
+    arrivals for that hop (missing hops get none).  Sender and receiver
+    follow the same protocols as :class:`TwoSwitchPipeline`.
+    """
+
+    def __init__(self, config: ChainConfig):
+        self.config = config
+
+    def run(
+        self,
+        regular: Iterable[Packet],
+        cross_per_hop: Optional[Dict[int, List[Tuple[float, Packet]]]] = None,
+        sender=None,
+        receiver=None,
+        duration: Optional[float] = None,
+    ) -> ChainResult:
+        cfg = self.config
+        cross_per_hop = cross_per_hop or {}
+        unknown = set(cross_per_hop) - set(range(cfg.n_hops))
+        if unknown:
+            raise ValueError(f"cross traffic for nonexistent hops: {sorted(unknown)}")
+        queues = [
+            FifoQueue(cfg.rates_bps[i], cfg.buffer_bytes, cfg.proc_delay, name=f"hop{i}")
+            for i in range(cfg.n_hops)
+        ]
+        result = ChainResult(queues, duration or 0.0)
+
+        # hop 0: regular traffic + sender tap + hop-0 cross traffic
+        stream = self._first_hop(regular, queues[0], sender, cross_per_hop.get(0, []), result)
+
+        # hops 1..N-1: merge the surviving through-stream with local cross
+        for hop in range(1, cfg.n_hops):
+            stream = self._middle_hop(stream, queues[hop], cross_per_hop.get(hop, []))
+
+        last = 0.0
+        for arrival, packet in stream:
+            last = arrival
+            if packet.kind == PacketKind.CROSS:
+                continue
+            if packet.is_regular:
+                result.regular_out += 1
+            if receiver is not None:
+                receiver.observe(packet, arrival)
+        if duration is None:
+            result.duration = max(last, max(q.stats.last_departure for q in queues))
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _first_hop(self, regular, queue, sender, cross, result) -> List[Tuple[float, Packet]]:
+        through: List[Tuple[float, Packet]] = []
+
+        def regular_stream():
+            for packet in regular:
+                result.regular_in += 1
+                yield packet.ts, packet
+
+        out: List[Tuple[float, Packet]] = []
+        merged = heapq.merge(regular_stream(), cross, key=lambda item: item[0])
+        for arrival, packet in merged:
+            departure = queue.offer(packet, arrival)
+            if departure is None:
+                continue
+            if packet.kind == PacketKind.CROSS:
+                continue  # hop-local cross exits after its hop
+            packet.tap_time = arrival
+            out.append((departure, packet))
+            if sender is not None and packet.is_regular:
+                refs = sender.on_regular(packet, arrival)
+                if refs:
+                    for ref in refs:
+                        result.refs_injected += 1
+                        ref_departure = queue.offer(ref, arrival)
+                        if ref_departure is not None:
+                            out.append((ref_departure, ref))
+        out.sort(key=lambda item: item[0])  # refs interleave with regulars
+        return out
+
+    def _middle_hop(self, stream, queue, cross) -> List[Tuple[float, Packet]]:
+        out: List[Tuple[float, Packet]] = []
+        merged = heapq.merge(stream, cross, key=lambda item: item[0])
+        for arrival, packet in merged:
+            departure = queue.offer(packet, arrival)
+            if departure is None or packet.kind == PacketKind.CROSS:
+                continue
+            out.append((departure, packet))
+        return out

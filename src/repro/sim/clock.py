@@ -1,0 +1,112 @@
+"""Clock models for measurement instances.
+
+RLI requires time synchronization between sender and receiver instances,
+"achieved by GPS-based clock synchronization or IEEE 1588" (paper Section 2).
+The estimator computes a reference packet's true one-way delay as
+
+    delay = receiver_clock.now(arrival) - tx_timestamp
+
+where ``tx_timestamp`` was written by the sender's clock.  Any residual
+synchronization error between the two clocks leaks directly into every delay
+sample, so we model it explicitly:
+
+* :class:`PerfectClock` — ideal sync (the paper's operating assumption).
+* :class:`OffsetClock` — constant offset from true time (residual PTP offset).
+* :class:`DriftingClock` — offset + frequency error (ppm drift) + optional
+  white jitter, the standard disciplined-oscillator model.
+
+Clocks map true simulation time to local readings on demand ("what does
+this instance's clock read at true time t?"), so no per-clock state machines
+run alongside the simulation.  All models are deterministic given their
+parameters; the jittered clock draws from its own seeded stream, so reads
+are reproducible in call order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Clock", "PerfectClock", "OffsetClock", "DriftingClock"]
+
+
+class Clock:
+    """Base class: maps true simulation time to this instance's local time."""
+
+    def now(self, true_time: float) -> float:
+        """Local clock reading at *true_time* (seconds)."""
+        raise NotImplementedError
+
+
+class PerfectClock(Clock):
+    """Ideal clock: local time equals true time."""
+
+    def now(self, true_time: float) -> float:
+        return true_time
+
+    def __repr__(self) -> str:
+        return "PerfectClock()"
+
+
+class OffsetClock(Clock):
+    """Clock with a constant offset from true time.
+
+    A positive offset means this clock runs *ahead* of true time.  A pair of
+    instances with offsets o_s (sender) and o_r (receiver) biases every delay
+    sample by (o_r - o_s).
+    """
+
+    def __init__(self, offset: float):
+        self.offset = float(offset)
+
+    def now(self, true_time: float) -> float:
+        return true_time + self.offset
+
+    def __repr__(self) -> str:
+        return f"OffsetClock(offset={self.offset!r})"
+
+
+class DriftingClock(Clock):
+    """Clock with offset, frequency error, and optional white jitter.
+
+    local(t) = t + offset + drift_ppm * 1e-6 * t + jitter
+
+    Parameters
+    ----------
+    offset:
+        Constant offset in seconds.
+    drift_ppm:
+        Frequency error in parts per million.  1 ppm accumulates 1 µs of
+        error per second of simulated time — large against the tens-of-µs
+        delays the paper measures, which is why RLI needs IEEE 1588/GPS.
+    jitter_std:
+        Standard deviation of zero-mean Gaussian read jitter (seconds).
+        Deterministic given the seed and call order.
+    seed:
+        Seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        offset: float = 0.0,
+        drift_ppm: float = 0.0,
+        jitter_std: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        self.offset = float(offset)
+        self.drift_ppm = float(drift_ppm)
+        self.jitter_std = float(jitter_std)
+        self._rng = np.random.default_rng(seed)
+
+    def now(self, true_time: float) -> float:
+        local = true_time + self.offset + self.drift_ppm * 1e-6 * true_time
+        if self.jitter_std > 0.0:
+            local += self._rng.normal(0.0, self.jitter_std)
+        return local
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftingClock(offset={self.offset!r}, drift_ppm={self.drift_ppm!r}, "
+            f"jitter_std={self.jitter_std!r})"
+        )

@@ -1,0 +1,123 @@
+"""ECMP hashing and reverse computation support.
+
+Data-center switches pick the next hop for a packet by hashing its flow key
+(equal-cost multipath).  This is exactly why the naive "deploy RLI across
+routers" breaks: packets between the same pair of instrumented routers can
+take different intermediate paths with uncorrelated delays (paper Section 1).
+
+The paper's reverse-ECMP idea (Section 3.1, "Downstream") assumes switch
+vendors reveal their hash functions so an RLIR receiver can *recompute* which
+uplink an upstream switch chose for a given flow key, thereby identifying the
+intermediate (core) router a regular packet traversed.
+
+We implement a deterministic keyed hash (an xorshift/Fibonacci mix over the
+5-tuple and a per-switch seed).  It is stable across processes (unlike
+Python's ``hash``) and statistically well-spread, which is all ECMP needs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["EcmpHasher", "craft_dport_for_port"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer — a strong 64-bit avalanche mix."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class EcmpHasher:
+    """Per-switch ECMP hash over the 5-tuple.
+
+    Parameters
+    ----------
+    seed:
+        Per-switch salt.  Distinct switches must use distinct seeds,
+        otherwise all switches make correlated choices and multipath
+        utilization collapses (a real phenomenon known as hash polarization,
+        which we also exploit in tests).
+    fields:
+        Which key fields participate in the hash.  Real switches commonly
+        hash the full 5-tuple; some hash only (src, dst).  Both are
+        supported so that reverse-ECMP can mirror the deployed config.
+    """
+
+    __slots__ = ("seed", "fields")
+
+    FULL_TUPLE = ("src", "dst", "sport", "dport", "proto")
+    ADDRESS_PAIR = ("src", "dst")
+
+    def __init__(self, seed: int, fields: Sequence[str] = FULL_TUPLE):
+        unknown = set(fields) - set(self.FULL_TUPLE)
+        if unknown:
+            raise ValueError(f"unknown hash fields: {sorted(unknown)}")
+        if not fields:
+            raise ValueError("at least one hash field required")
+        self.seed = seed
+        self.fields = tuple(fields)
+
+    def hash_key(self, key: Tuple[int, int, int, int, int]) -> int:
+        """64-bit hash of a 5-tuple ``(src, dst, sport, dport, proto)``."""
+        src, dst, sport, dport, proto = key
+        acc = _mix64(self.seed ^ 0x9E3779B97F4A7C15)
+        if "src" in self.fields:
+            acc = _mix64(acc ^ src)
+        if "dst" in self.fields:
+            acc = _mix64(acc ^ (dst << 1))
+        if "sport" in self.fields:
+            acc = _mix64(acc ^ (sport << 2))
+        if "dport" in self.fields:
+            acc = _mix64(acc ^ (dport << 3))
+        if "proto" in self.fields:
+            acc = _mix64(acc ^ (proto << 4))
+        return acc
+
+    def choose(self, key: Tuple[int, int, int, int, int], n_ports: int) -> int:
+        """Pick one of *n_ports* equal-cost ports for flow *key*."""
+        if n_ports <= 0:
+            raise ValueError("n_ports must be positive")
+        if n_ports == 1:
+            return 0
+        return self.hash_key(key) % n_ports
+
+    def __repr__(self) -> str:
+        return f"EcmpHasher(seed={self.seed}, fields={self.fields})"
+
+
+def craft_dport_for_port(
+    hasher: EcmpHasher,
+    src: int,
+    dst: int,
+    sport: int,
+    proto: int,
+    n_ports: int,
+    target_port: int,
+    max_tries: int = 4096,
+    start_dport: int = 40000,
+) -> Optional[int]:
+    """Find a destination port that makes *hasher* choose *target_port*.
+
+    This is how an RLIR sender "sends reference packets to all intermediate
+    receivers through which its packets may cross" (paper Section 3.1): since
+    it knows its local switch's hash function, it crafts one reference flow
+    per uplink so every equal-cost path carries a reference stream.
+
+    Returns the dport, or ``None`` if none found within *max_tries* (cannot
+    happen for well-mixed hashes unless dport is excluded from the hash).
+    """
+    if not 0 <= target_port < n_ports:
+        raise ValueError(f"target_port {target_port} out of range [0, {n_ports})")
+    if "dport" not in hasher.fields:
+        key = (src, dst, sport, start_dport, proto)
+        return start_dport if hasher.choose(key, n_ports) == target_port else None
+    for offset in range(max_tries):
+        dport = start_dport + offset
+        if hasher.choose((src, dst, sport, dport, proto), n_ports) == target_port:
+            return dport
+    return None

@@ -1,0 +1,86 @@
+"""Ports and links.
+
+A :class:`Port` is an egress interface of a switch: a finite-buffer FIFO
+queue draining at the link rate, plus the propagation delay to the neighbor
+on the other end.  Measurement instances attach to ports as *taps*:
+
+* ``enqueue_taps`` fire when a packet is offered to the egress queue — this
+  is where an RLI *sender* sits (it observes the regular stream at its
+  interface and injects reference packets into the same queue);
+* ``depart_taps`` fire when a packet finishes transmission — useful for
+  wire-level accounting.
+
+Receivers observe packets at node arrival (see ``Switch.arrival_taps``),
+matching the paper's placement of the RLI receiver after the downstream
+queue (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..net.packet import Packet
+from .queue import FifoQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .switch import Switch
+
+__all__ = ["Port"]
+
+TapFn = Callable[[Packet, float], None]
+
+
+class Port:
+    """An egress interface: queue + wire toward a neighbor node.
+
+    Parameters
+    ----------
+    owner:
+        The switch this port belongs to.
+    index:
+        Port number on the owner switch.
+    queue:
+        The egress FIFO.
+    prop_delay:
+        Propagation delay of the attached wire, seconds.
+    neighbor:
+        The node at the far end (set when the topology is wired).
+    """
+
+    __slots__ = (
+        "owner",
+        "index",
+        "queue",
+        "prop_delay",
+        "neighbor",
+        "enqueue_taps",
+        "depart_taps",
+    )
+
+    def __init__(
+        self,
+        owner: "Switch",
+        index: int,
+        queue: FifoQueue,
+        prop_delay: float = 0.0,
+        neighbor: Optional["Switch"] = None,
+    ):
+        self.owner = owner
+        self.index = index
+        self.queue = queue
+        self.prop_delay = prop_delay
+        self.neighbor = neighbor
+        self.enqueue_taps: List[TapFn] = []
+        self.depart_taps: List[TapFn] = []
+
+    def add_enqueue_tap(self, fn: TapFn) -> None:
+        """Attach an observer fired when a packet is offered to this port."""
+        self.enqueue_taps.append(fn)
+
+    def add_depart_tap(self, fn: TapFn) -> None:
+        """Attach an observer fired when a packet leaves the wire end."""
+        self.depart_taps.append(fn)
+
+    def __repr__(self) -> str:
+        to = self.neighbor.name if self.neighbor is not None else "?"
+        return f"Port({self.owner.name}[{self.index}] -> {to})"

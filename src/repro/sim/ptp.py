@@ -1,0 +1,148 @@
+"""IEEE 1588 (PTP)-style two-way time transfer.
+
+RLI's prerequisite: "Time-synchronization between RLI instances is a basic
+requirement, that can be achieved by GPS-based clock synchronization or
+IEEE 1588" (paper Section 2).  This module provides the substrate for
+studying that requirement instead of assuming it away: a two-way exchange
+model that *estimates* a slave clock's offset the way a PTP session does,
+including the error floor that path-delay asymmetry imposes.
+
+One exchange (all times in the master's timebase, offset = slave − master):
+
+    t1  master sends SYNC            (master clock)
+    t2  slave receives SYNC          (slave clock)  = t1 + d_ms + offset
+    t3  slave sends DELAY_REQ        (slave clock)
+    t4  master receives DELAY_REQ    (master clock) = t3 − offset + d_sm
+
+    offset_est = ((t2 − t1) − (t4 − t3)) / 2
+               = offset + (d_ms − d_sm) / 2      ← asymmetry error
+
+Like a real PTP servo, :meth:`PtpSession.synchronize` runs many exchanges
+and combines the minimum-delay ones (queueing noise is one-sided, so
+min-filtering approaches the propagation-only exchange).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .clock import OffsetClock
+
+__all__ = ["PtpExchange", "PtpSession"]
+
+
+class PtpExchange:
+    """One SYNC/DELAY_REQ round trip's timestamps and derived values."""
+
+    __slots__ = ("t1", "t2", "t3", "t4")
+
+    def __init__(self, t1: float, t2: float, t3: float, t4: float):
+        self.t1 = t1
+        self.t2 = t2
+        self.t3 = t3
+        self.t4 = t4
+
+    @property
+    def offset_estimate(self) -> float:
+        return 0.5 * ((self.t2 - self.t1) - (self.t4 - self.t3))
+
+    @property
+    def round_trip(self) -> float:
+        """Apparent round-trip (offset cancels)."""
+        return (self.t4 - self.t1) - (self.t3 - self.t2)
+
+
+class PtpSession:
+    """Synchronize a slave clock against a master over a noisy path.
+
+    Parameters
+    ----------
+    true_offset:
+        The slave clock's actual offset from the master (what the session
+        tries to estimate), seconds.
+    base_delay_ms / base_delay_sm:
+        Propagation delay master→slave and slave→master.  Unequal values
+        model path asymmetry — the PTP error floor: the residual offset
+        error converges to (d_ms − d_sm)/2, not zero.
+    queue_jitter:
+        Mean of the one-sided exponential queueing delay added to each
+        message (congestion between the instances).
+    seed:
+        Noise stream seed.
+    """
+
+    def __init__(
+        self,
+        true_offset: float,
+        base_delay_ms: float = 5e-6,
+        base_delay_sm: float = 5e-6,
+        queue_jitter: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if base_delay_ms < 0 or base_delay_sm < 0:
+            raise ValueError("propagation delays must be non-negative")
+        if queue_jitter < 0:
+            raise ValueError("queue jitter must be non-negative")
+        self.true_offset = true_offset
+        self.base_delay_ms = base_delay_ms
+        self.base_delay_sm = base_delay_sm
+        self.queue_jitter = queue_jitter
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def exchange(self, start: float) -> PtpExchange:
+        """Run one two-way exchange beginning at master time *start*."""
+        jitter = self.queue_jitter
+        d_ms = self.base_delay_ms + (self._rng.exponential(jitter) if jitter else 0.0)
+        d_sm = self.base_delay_sm + (self._rng.exponential(jitter) if jitter else 0.0)
+        t1 = start
+        t2 = t1 + d_ms + self.true_offset  # slave clock reading
+        turnaround = 1e-6
+        t3 = t2 + turnaround
+        t4 = (t3 - self.true_offset) + d_sm  # back in master time
+        return PtpExchange(t1, t2, t3, t4)
+
+    def synchronize(self, rounds: int = 16, interval: float = 0.1, keep_best: int = 4) -> "PtpResult":
+        """Run *rounds* exchanges and servo on the minimum-delay ones."""
+        if rounds < 1:
+            raise ValueError(f"need at least one round: {rounds}")
+        if keep_best < 1:
+            raise ValueError(f"keep_best must be >= 1: {keep_best}")
+        exchanges = [self.exchange(i * interval) for i in range(rounds)]
+        best = sorted(exchanges, key=lambda e: e.round_trip)[: min(keep_best, rounds)]
+        estimate = sum(e.offset_estimate for e in best) / len(best)
+        return PtpResult(estimate, self.true_offset, exchanges)
+
+
+class PtpResult:
+    """Outcome of a synchronization session."""
+
+    def __init__(self, estimated_offset: float, true_offset: float, exchanges: List[PtpExchange]):
+        self.estimated_offset = estimated_offset
+        self.true_offset = true_offset
+        self.exchanges = exchanges
+
+    @property
+    def residual_error(self) -> float:
+        """Offset error remaining after correction (what leaks into RLI
+        delay samples)."""
+        return self.estimated_offset - self.true_offset
+
+    def corrected_clock(self) -> OffsetClock:
+        """The slave's clock after applying the estimated correction.
+
+        Its effective offset from true time is the negated residual error
+        (over-estimating the offset leaves the clock running behind); plug
+        it into an :class:`~repro.core.receiver.RliReceiver` to study sync
+        quality end to end.
+        """
+        return OffsetClock(self.true_offset - self.estimated_offset)
+
+    def __repr__(self) -> str:
+        return (
+            f"PtpResult(est={self.estimated_offset:.3e}, true={self.true_offset:.3e}, "
+            f"residual={self.residual_error:.3e}, rounds={len(self.exchanges)})"
+        )

@@ -1,0 +1,185 @@
+"""Output-queued switch with LPM routing and ECMP uplink groups.
+
+Forwarding model (matches commodity data-center switches as described in the
+paper): the destination address is looked up in a longest-prefix-match table;
+the result is either a single egress port (downward routes — deterministic in
+a fat-tree) or an *ECMP group* of equal-cost ports, one of which is selected
+by hashing the packet's 5-tuple with the switch's hash function (upward
+routes).  A route to the switch's own address delivers the packet locally,
+which is how reference packets terminate at a measurement instance.
+
+Optionally a switch can be configured to *mark* packets passing through it
+(paper Section 3.1: core routers stamp the ToS byte so downstream RLIR
+receivers can identify the intermediate router).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..net.addressing import Prefix, PrefixTrie, int_to_ip
+from ..net.headers import encode_mark
+from ..net.packet import Packet
+from .ecmp import EcmpHasher
+from .link import Port
+from .queue import FifoQueue
+
+__all__ = ["Switch", "EcmpGroup", "LOCAL_DELIVERY"]
+
+ArrivalTap = Callable[[Packet, float, int], None]
+
+
+class EcmpGroup:
+    """A set of equal-cost egress ports resolved by the switch hash."""
+
+    __slots__ = ("ports",)
+
+    def __init__(self, ports: Sequence[int]):
+        if not ports:
+            raise ValueError("ECMP group must contain at least one port")
+        self.ports = tuple(ports)
+
+    def __repr__(self) -> str:
+        return f"EcmpGroup(ports={self.ports})"
+
+
+class _Local:
+    """Sentinel route target: deliver to this switch's local instance."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "LOCAL_DELIVERY"
+
+
+LOCAL_DELIVERY = _Local()
+
+RouteTarget = Union[int, EcmpGroup, _Local]
+
+
+class Switch:
+    """A store-and-forward switch/router.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label (e.g. ``"tor(p0,e1)"``).
+    node_id:
+        Unique integer id within a topology.
+    address:
+        The switch's own loopback/interface address (int).  Packets
+        addressed to it are delivered locally.
+    hasher:
+        The switch's ECMP hash function.
+    mark:
+        If non-zero, every packet forwarded by this switch gets this value
+        stamped into its ToS byte (the paper's packet-marking option).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_id: int,
+        address: int,
+        hasher: EcmpHasher,
+        mark: int = 0,
+    ):
+        self.name = name
+        self.node_id = node_id
+        self.address = address
+        self.hasher = hasher
+        self.mark = mark
+        self.ports: List[Port] = []
+        self.routes: PrefixTrie[RouteTarget] = PrefixTrie()
+        self.arrival_taps: List[ArrivalTap] = []
+        self.local_sink: List[Tuple[Packet, float]] = []
+        # route to self delivers locally
+        self.routes.insert(Prefix(address, 32), LOCAL_DELIVERY)
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def add_port(
+        self,
+        rate_bps: float,
+        buffer_bytes: Optional[int],
+        proc_delay: float = 0.0,
+        prop_delay: float = 0.0,
+    ) -> Port:
+        """Create a new egress port; returns it (neighbor wired later)."""
+        index = len(self.ports)
+        queue = FifoQueue(
+            rate_bps,
+            buffer_bytes,
+            proc_delay=proc_delay,
+            name=f"{self.name}[{index}]",
+        )
+        port = Port(self, index, queue, prop_delay=prop_delay)
+        self.ports.append(port)
+        return port
+
+    def add_route(self, prefix: Prefix, target: RouteTarget) -> None:
+        """Install a route: prefix → port index, ECMP group or local."""
+        self.routes.insert(prefix, target)
+
+    def add_arrival_tap(self, fn: ArrivalTap) -> None:
+        """Observer fired for every packet arriving at this switch."""
+        self.arrival_taps.append(fn)
+
+    # ------------------------------------------------------------------
+    # forwarding
+
+    def route_port(self, packet: Packet) -> Optional[RouteTarget]:
+        """Resolve the egress for *packet* (ECMP group already hashed).
+
+        Returns a port index, ``LOCAL_DELIVERY``, or ``None`` if no route.
+        """
+        target = self.routes.lookup(packet.dst)
+        if isinstance(target, EcmpGroup):
+            choice = self.hasher.choose(packet.flow_key, len(target.ports))
+            return target.ports[choice]
+        return target
+
+    def receive(self, packet: Packet, now: float, in_port: int = -1) -> Optional[Tuple[Port, float]]:
+        """Handle an arriving packet.
+
+        Fires arrival taps, resolves the route, applies marking, and offers
+        the packet to the chosen egress queue.  Returns ``(port, departure)``
+        if the packet was forwarded, ``None`` if it was delivered locally or
+        dropped (no route / buffer overflow).
+        """
+        packet.path = packet.path + (self.node_id,)
+        for tap in self.arrival_taps:
+            tap(packet, now, in_port)
+        target = self.route_port(packet)
+        if target is LOCAL_DELIVERY:
+            self.local_sink.append((packet, now))
+            return None
+        if target is None:
+            packet.dropped = True
+            return None
+        if self.mark:
+            packet.tos = encode_mark(packet.tos, self.mark)
+        port = self.ports[target]  # type: ignore[index]
+        return self._transmit(port, packet, now)
+
+    def inject(self, packet: Packet, now: float, port_index: int) -> Optional[Tuple[Port, float]]:
+        """Inject a locally-generated packet directly into an egress port.
+
+        Used by RLI senders: the reference packet enters the same egress
+        queue as the regular stream it shadows, without passing routing.
+        """
+        return self._transmit(self.ports[port_index], packet, now)
+
+    def _transmit(self, port: Port, packet: Packet, now: float) -> Optional[Tuple[Port, float]]:
+        departure = port.queue.offer(packet, now)
+        if departure is None:
+            return None
+        # taps fire after acceptance so a sender's injected reference packets
+        # are offered behind the regular packet that triggered them
+        for tap in port.enqueue_taps:
+            tap(packet, now)
+        for tap in port.depart_taps:
+            tap(packet, departure)
+        return port, departure
+
+    def __repr__(self) -> str:
+        return f"Switch({self.name} addr={int_to_ip(self.address)} ports={len(self.ports)})"

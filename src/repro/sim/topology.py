@@ -1,0 +1,239 @@
+"""Topology container and k-ary fat-tree builder.
+
+The paper evaluates RLIR on data-center topologies ("In our example fat-tree
+topology...", Figure 1) and derives placement complexity on a k-ary fat-tree
+(Section 3.1).  This module builds the standard three-tier k-ary fat-tree
+(Al-Fares et al.): k pods, each with k/2 edge (ToR) and k/2 aggregation
+switches, and (k/2)^2 core switches; core group i (of k/2 cores) attaches to
+aggregation switch i of every pod.
+
+Addressing follows the usual 10.pod.switch.x convention:
+
+* hosts under edge switch e of pod p:  ``10.p.e.(2+h)``  (prefix 10.p.e.0/24)
+* edge switch e of pod p:              ``10.p.e.1``
+* aggregation switch a of pod p:       ``10.p.(k/2+a).1``
+* core switch (i, j):                  ``10.k.(1+i).(1+j)``
+
+Routing: downward routes are deterministic longest-prefix matches
+(core → pod, agg → edge prefix, edge → local delivery for its own /24);
+upward routes are default routes through ECMP groups hashed per switch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.addressing import Prefix, ip_to_int
+from .ecmp import EcmpHasher
+from .switch import EcmpGroup, LOCAL_DELIVERY, Switch
+
+__all__ = ["LinkParams", "Topology", "FatTree"]
+
+
+class LinkParams:
+    """Physical parameters applied to every port of a link."""
+
+    __slots__ = ("rate_bps", "buffer_bytes", "proc_delay", "prop_delay")
+
+    def __init__(
+        self,
+        rate_bps: float = 1e9,
+        buffer_bytes: Optional[int] = 512 * 1024,
+        proc_delay: float = 1e-6,
+        prop_delay: float = 0.5e-6,
+    ):
+        self.rate_bps = rate_bps
+        self.buffer_bytes = buffer_bytes
+        self.proc_delay = proc_delay
+        self.prop_delay = prop_delay
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkParams(rate={self.rate_bps:.3g}, buffer={self.buffer_bytes}, "
+            f"proc={self.proc_delay}, prop={self.prop_delay})"
+        )
+
+
+class Topology:
+    """A set of switches plus bidirectional links between them."""
+
+    def __init__(self, name: str = "topology", ecmp_seed: int = 1):
+        self.name = name
+        self.ecmp_seed = ecmp_seed
+        self.switches: List[Switch] = []
+        self.by_name: Dict[str, Switch] = {}
+        # (a_id, b_id) -> a's port index toward b
+        self._port_toward: Dict[Tuple[int, int], int] = {}
+
+    def add_switch(self, name: str, address: int, mark: int = 0) -> Switch:
+        """Create a switch with a derived per-switch ECMP seed."""
+        if name in self.by_name:
+            raise ValueError(f"duplicate switch name: {name}")
+        node_id = len(self.switches)
+        hasher = EcmpHasher(seed=self.ecmp_seed * 0x1000003 + node_id)
+        sw = Switch(name, node_id, address, hasher, mark=mark)
+        self.switches.append(sw)
+        self.by_name[name] = sw
+        return sw
+
+    def connect(self, a: Switch, b: Switch, params: LinkParams) -> Tuple[int, int]:
+        """Create a bidirectional link; returns (a's port idx, b's port idx)."""
+        pa = a.add_port(params.rate_bps, params.buffer_bytes, params.proc_delay, params.prop_delay)
+        pb = b.add_port(params.rate_bps, params.buffer_bytes, params.proc_delay, params.prop_delay)
+        pa.neighbor = b
+        pb.neighbor = a
+        self._port_toward[(a.node_id, b.node_id)] = pa.index
+        self._port_toward[(b.node_id, a.node_id)] = pb.index
+        return pa.index, pb.index
+
+    def port_toward(self, a: Switch, b: Switch) -> int:
+        """Port index on *a* of the link toward *b* (KeyError if none)."""
+        return self._port_toward[(a.node_id, b.node_id)]
+
+    def links(self) -> Iterator[Tuple[Switch, Switch]]:
+        """Yield each bidirectional link once, as (lower-id, higher-id)."""
+        for (aid, bid) in self._port_toward:
+            if aid < bid:
+                yield self.switches[aid], self.switches[bid]
+
+    def reset_queues(self) -> None:
+        """Reset all port queues for a fresh run on the same topology."""
+        for sw in self.switches:
+            sw.local_sink.clear()
+            for port in sw.ports:
+                port.queue.reset()
+
+
+class FatTree(Topology):
+    """A k-ary fat-tree with addressing and routing installed.
+
+    Parameters
+    ----------
+    k:
+        Fat-tree arity; must be even and >= 2.  The network has
+        ``k`` pods, ``k^2/2`` edge+agg switches, ``(k/2)^2`` cores and
+        supports ``k^3/4`` hosts.
+    params:
+        Link parameters used for every link (uniform fabric).
+    ecmp_seed:
+        Base seed from which per-switch hash seeds are derived.
+    """
+
+    def __init__(self, k: int, params: Optional[LinkParams] = None, ecmp_seed: int = 1):
+        if k < 2 or k % 2:
+            raise ValueError(f"fat-tree arity must be even and >= 2: k={k}")
+        super().__init__(name=f"fattree(k={k})", ecmp_seed=ecmp_seed)
+        self.k = k
+        self.params = params or LinkParams()
+        half = k // 2
+        self.edges: List[List[Switch]] = []  # [pod][e]
+        self.aggs: List[List[Switch]] = []  # [pod][a]
+        self.cores: List[List[Switch]] = []  # [i][j]
+
+        for p in range(k):
+            self.edges.append(
+                [self.add_switch(f"edge(p{p},e{e})", self._addr(p, e, 1)) for e in range(half)]
+            )
+            self.aggs.append(
+                [self.add_switch(f"agg(p{p},a{a})", self._addr(p, half + a, 1)) for a in range(half)]
+            )
+        for i in range(half):
+            self.cores.append(
+                [self.add_switch(f"core({i},{j})", self._addr(k, 1 + i, 1 + j)) for j in range(half)]
+            )
+
+        self._wire()
+        self._install_routes()
+
+    # ------------------------------------------------------------------
+
+    def _addr(self, a: int, b: int, c: int) -> int:
+        return ip_to_int(f"10.{a}.{b}.{c}")
+
+    def host_address(self, pod: int, edge: int, h: int) -> int:
+        """Address of host *h* (0-based) under edge switch (pod, edge)."""
+        half = self.k // 2
+        if not (0 <= pod < self.k and 0 <= edge < half and 0 <= h < half):
+            raise ValueError(f"host index out of range: pod={pod} edge={edge} h={h}")
+        return self._addr(pod, edge, 2 + h)
+
+    def tor_prefix(self, pod: int, edge: int) -> Prefix:
+        """The /24 host prefix owned by edge switch (pod, edge)."""
+        return Prefix(self._addr(pod, edge, 0), 24)
+
+    def pod_prefix(self, pod: int) -> Prefix:
+        return Prefix(self._addr(pod, 0, 0), 16)
+
+    def locate_host(self, address: int) -> Tuple[int, int]:
+        """Return (pod, edge) owning *address* (ValueError if not a host)."""
+        pod = (address >> 16) & 0xFF
+        edge = (address >> 8) & 0xFF
+        half = self.k // 2
+        if not (0 <= pod < self.k and 0 <= edge < half):
+            raise ValueError(f"address not in any ToR host block: {address}")
+        return pod, edge
+
+    def edge_of(self, address: int) -> Switch:
+        """The edge (ToR) switch owning host *address*."""
+        pod, edge = self.locate_host(address)
+        return self.edges[pod][edge]
+
+    # ------------------------------------------------------------------
+
+    def _wire(self) -> None:
+        half = self.k // 2
+        for p in range(self.k):
+            for e in range(half):
+                for a in range(half):
+                    self.connect(self.edges[p][e], self.aggs[p][a], self.params)
+        for i in range(half):
+            for j in range(half):
+                for p in range(self.k):
+                    self.connect(self.aggs[p][i], self.cores[i][j], self.params)
+
+    def _install_routes(self) -> None:
+        half = self.k // 2
+        for p in range(self.k):
+            for e, edge in enumerate(self.edges[p]):
+                # local hosts terminate here; everything else goes up
+                edge.add_route(self.tor_prefix(p, e), LOCAL_DELIVERY)
+                up = [self.port_toward(edge, self.aggs[p][a]) for a in range(half)]
+                edge.add_route(Prefix(0, 0), EcmpGroup(up))
+            for i, agg in enumerate(self.aggs[p]):
+                for e in range(half):
+                    agg.add_route(self.tor_prefix(p, e), self.port_toward(agg, self.edges[p][e]))
+                up = [self.port_toward(agg, self.cores[i][j]) for j in range(half)]
+                agg.add_route(Prefix(0, 0), EcmpGroup(up))
+        for i in range(half):
+            for j in range(half):
+                core = self.cores[i][j]
+                for p in range(self.k):
+                    core.add_route(self.pod_prefix(p), self.port_toward(core, self.aggs[p][i]))
+
+    # ------------------------------------------------------------------
+    # deterministic path computation (ground truth for reverse ECMP tests)
+
+    def up_path(self, flow_key: Tuple[int, int, int, int, int]) -> Tuple[Switch, Switch, Switch]:
+        """The (edge, agg, core) an inter-pod flow climbs through.
+
+        Deterministic given the flow key and the switches' hash functions —
+        exactly the computation the paper's reverse-ECMP receiver performs.
+        """
+        src, dst = flow_key[0], flow_key[1]
+        pod, e = self.locate_host(src)
+        dpod, de = self.locate_host(dst)
+        if (pod, e) == (dpod, de):
+            raise ValueError("intra-ToR flow never climbs the tree")
+        edge = self.edges[pod][e]
+        half = self.k // 2
+        a = edge.hasher.choose(flow_key, half)
+        agg = self.aggs[pod][a]
+        if dpod == pod:
+            # stays inside the pod: bounces off the agg, no core
+            raise ValueError("intra-pod flow does not reach a core")
+        j = agg.hasher.choose(flow_key, half)
+        return edge, agg, self.cores[a][j]
+
+    def core_of(self, flow_key: Tuple[int, int, int, int, int]) -> Switch:
+        """The core switch an inter-pod flow traverses."""
+        return self.up_path(flow_key)[2]

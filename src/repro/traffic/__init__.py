@@ -1,0 +1,35 @@
+"""Workload substrate: synthetic traces, division, cross-traffic injection,
+and YAF-like flow metering."""
+
+from .crosstraffic import (
+    BurstyModel,
+    CalibrationError,
+    UniformModel,
+    calibrate_selection_probability,
+)
+from .csvio import load_csv, save_csv
+from .distributions import BoundedPareto, DEFAULT_SIZE_MIX, LognormalGaps, PacketSizeMix
+from .divider import TrafficDivider
+from .flowmeter import FlowMeter, FlowRecord
+from .synthetic import TraceConfig, generate_fattree_trace, generate_trace
+from .trace import Trace
+
+__all__ = [
+    "load_csv",
+    "save_csv",
+    "BurstyModel",
+    "CalibrationError",
+    "UniformModel",
+    "calibrate_selection_probability",
+    "BoundedPareto",
+    "DEFAULT_SIZE_MIX",
+    "LognormalGaps",
+    "PacketSizeMix",
+    "TrafficDivider",
+    "FlowMeter",
+    "FlowRecord",
+    "TraceConfig",
+    "generate_fattree_trace",
+    "generate_trace",
+    "Trace",
+]

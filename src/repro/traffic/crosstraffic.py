@@ -1,0 +1,162 @@
+"""Cross-traffic injection models (paper Section 4.1).
+
+"The cross traffic injector provides two types of traffic selection models;
+uniform and bursty models.  Uniform model randomly selects cross traffic
+with a given probability, which can demonstrate a persistent congestion
+event as we increase injection rate.  Bursty model simulates a situation
+where cross traffic arrives in a bursty fashion by controlling cross traffic
+injection duration."
+
+Both models take a cross-traffic trace and yield ``(arrival_time, packet)``
+pairs destined for the bottleneck switch:
+
+* :class:`UniformModel` keeps each cross packet independently with
+  probability ``prob``; timestamps are untouched, so the extra load is
+  spread evenly — persistent, "random" congestion.
+* :class:`BurstyModel` keeps each packet with probability ``prob`` but
+  time-compresses the kept stream into periodic ON windows of
+  ``on_duration`` seconds every ``period`` seconds.  The same ``prob``
+  therefore delivers the same *average* utilization as the uniform model
+  while concentrating it into bursts — exactly the controlled comparison of
+  Figure 4(c).
+
+:func:`calibrate_selection_probability` solves for the ``prob`` that hits a
+target average bottleneck utilization, replacing the paper's manual tuning
+("we set ... packet selection probability as 15 %, which gives us 34 % link
+utilization at the second switch").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..net.packet import Packet, PacketKind
+from .trace import Trace
+
+__all__ = [
+    "UniformModel",
+    "BurstyModel",
+    "calibrate_selection_probability",
+    "CalibrationError",
+]
+
+
+class CalibrationError(ValueError):
+    """Raised when the cross trace cannot supply the requested load."""
+
+
+class UniformModel:
+    """Uniform (random) selection: persistent congestion."""
+
+    def __init__(self, prob: float, seed: int = 0):
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"selection probability must be in [0, 1]: {prob}")
+        self.prob = prob
+        self.seed = seed
+
+    def arrivals(self, cross: Trace) -> List[Tuple[float, Packet]]:
+        """Select and clone cross packets; arrival time = original ts."""
+        rng = np.random.default_rng(self.seed)
+        keep = rng.random(len(cross)) < self.prob
+        out: List[Tuple[float, Packet]] = []
+        for selected, packet in zip(keep, cross.packets):
+            if selected:
+                q = packet.clone()
+                q.kind = PacketKind.CROSS
+                out.append((q.ts, q))
+        return out
+
+    def __repr__(self) -> str:
+        return f"UniformModel(prob={self.prob}, seed={self.seed})"
+
+
+class BurstyModel:
+    """ON/OFF selection: the same average load, concentrated into bursts.
+
+    Kept packets are remapped onto ON windows: the whole trace timeline
+    [0, T) is compressed by the duty-cycle factor ``period / on_duration``
+    and folded into windows ``[k·period, k·period + on_duration)``.  Packet
+    order and intra-burst micro-structure are preserved; the instantaneous
+    cross rate inside a window is ``period / on_duration`` times the uniform
+    model's, producing the deep transient queues whose delays interpolation
+    tracks so well in Figure 4(c).
+    """
+
+    def __init__(self, prob: float, on_duration: float, period: float, seed: int = 0):
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"selection probability must be in [0, 1]: {prob}")
+        if on_duration <= 0 or period <= 0:
+            raise ValueError("on_duration and period must be positive")
+        if on_duration > period:
+            raise ValueError(f"on_duration {on_duration} exceeds period {period}")
+        self.prob = prob
+        self.on_duration = on_duration
+        self.period = period
+        self.seed = seed
+
+    def arrivals(self, cross: Trace) -> List[Tuple[float, Packet]]:
+        """Select, clone, and fold cross packets into ON windows."""
+        if len(cross) == 0:
+            return []
+        span = cross.duration or 1.0
+        duty = self.on_duration / self.period
+        rng = np.random.default_rng(self.seed)
+        keep = rng.random(len(cross)) < self.prob
+        out: List[Tuple[float, Packet]] = []
+        for selected, packet in zip(keep, cross.packets):
+            if not selected:
+                continue
+            compressed = packet.ts * duty  # position on the all-ON timeline
+            window, offset = divmod(compressed, self.on_duration)
+            arrival = window * self.period + offset
+            if arrival >= span:
+                continue  # folded past the trace span; drop the straggler
+            q = packet.clone()
+            q.kind = PacketKind.CROSS
+            q.ts = arrival
+            out.append((arrival, q))
+        out.sort(key=lambda item: item[0])
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyModel(prob={self.prob}, on={self.on_duration}, "
+            f"period={self.period}, seed={self.seed})"
+        )
+
+
+def calibrate_selection_probability(
+    cross: Trace,
+    regular_bytes: int,
+    rate_bps: float,
+    duration: float,
+    target_utilization: float,
+    max_prob: float = 1.0,
+) -> float:
+    """Selection probability that yields *target_utilization* on average.
+
+    The bottleneck link carries the regular traffic plus the selected cross
+    traffic:  ``util = (regular_bytes + p · cross_bytes) / (rate/8 · T)``.
+    Solving for ``p`` replaces trial-and-error calibration.  Raises
+    :class:`CalibrationError` if the cross trace is too small to reach the
+    target (p would exceed *max_prob*).
+    """
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError(f"target utilization must be in (0, 1]: {target_utilization}")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    cross_bytes = cross.total_bytes
+    if cross_bytes == 0:
+        raise CalibrationError("cross trace is empty")
+    needed = target_utilization * (rate_bps / 8.0) * duration - regular_bytes
+    if needed <= 0:
+        return 0.0
+    prob = needed / cross_bytes
+    if prob > max_prob:
+        raise CalibrationError(
+            f"cross trace too small: need p={prob:.3f} > {max_prob} for "
+            f"{target_utilization:.0%} utilization"
+        )
+    return prob

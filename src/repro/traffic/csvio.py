@@ -1,0 +1,71 @@
+"""CSV trace interchange.
+
+The binary npz format (:meth:`repro.traffic.trace.Trace.save`) is compact
+but opaque; CSV is the lingua franca for importing real captures (e.g. a
+``tshark -T fields`` export) or eyeballing synthetic ones.  Columns:
+
+    ts,src,dst,sport,dport,proto,size[,kind]
+
+``src``/``dst`` are dotted quads; ``kind`` is optional (0=regular, 1=
+reference, 2=cross; defaults to regular).  Rows must be time-sorted, as any
+capture is.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Optional
+
+from ..net.addressing import int_to_ip, ip_to_int
+from ..net.packet import Packet, PacketKind
+from .trace import Trace
+
+__all__ = ["save_csv", "load_csv"]
+
+_REQUIRED = ("ts", "src", "dst", "sport", "dport", "proto", "size")
+
+
+def save_csv(trace: Trace, path: str, include_kind: bool = True) -> None:
+    """Write *trace* as a CSV file with a header row."""
+    fields = list(_REQUIRED) + (["kind"] if include_kind else [])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for p in trace:
+            row = [f"{p.ts:.9f}", int_to_ip(p.src), int_to_ip(p.dst),
+                   p.sport, p.dport, p.proto, p.size]
+            if include_kind:
+                row.append(int(p.kind))
+            writer.writerow(row)
+
+
+def load_csv(path: str, name: Optional[str] = None) -> Trace:
+    """Read a CSV trace written by :func:`save_csv` (or any conformant
+    export).  Raises ValueError on missing columns or unsorted rows."""
+    packets: List[Packet] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = [c for c in _REQUIRED if c not in (reader.fieldnames or [])]
+        if missing:
+            raise ValueError(f"CSV trace missing columns: {missing}")
+        last_ts = float("-inf")
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                ts = float(row["ts"])
+                packet = Packet(
+                    src=ip_to_int(row["src"]),
+                    dst=ip_to_int(row["dst"]),
+                    sport=int(row["sport"]),
+                    dport=int(row["dport"]),
+                    proto=int(row["proto"]),
+                    size=int(row["size"]),
+                    ts=ts,
+                    kind=PacketKind(int(row["kind"])) if row.get("kind") else PacketKind.REGULAR,
+                )
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"bad CSV trace row at line {line_no}: {exc}") from exc
+            if ts < last_ts:
+                raise ValueError(f"CSV trace not time-sorted at line {line_no}")
+            last_ts = ts
+            packets.append(packet)
+    return Trace(packets, name=name or path, check_sorted=False)

@@ -1,0 +1,195 @@
+"""Synthetic OC-192-like trace generation.
+
+Substitutes for the paper's CAIDA anonymized OC-192 traces [14] (not
+redistributable; see DESIGN.md).  Flows arrive as a Poisson process over the
+trace span; each flow draws a heavy-tailed size in packets, endpoints from
+configurable address pools, and bursty lognormal intra-flow gaps.  The
+paper's trace has ~15.4 packets/flow on average; the defaults here match.
+
+Two front-ends are provided:
+
+* :func:`generate_trace` — endpoints drawn from synthetic /16 pools, used by
+  the two-switch pipeline experiments where addresses only matter for flow
+  identity and regular/cross classification;
+* :func:`generate_fattree_trace` — endpoints are hosts of a
+  :class:`~repro.sim.topology.FatTree`, restricted to inter-pod pairs, used
+  by the RLIR across-routers experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.addressing import ip_to_int
+from ..net.packet import Packet, PacketKind
+from .distributions import BoundedPareto, PacketSizeMix
+from .trace import Trace
+
+__all__ = ["TraceConfig", "generate_trace", "generate_fattree_trace"]
+
+
+class TraceConfig:
+    """Knobs of the synthetic workload.
+
+    Parameters
+    ----------
+    duration:
+        Trace span in seconds.
+    n_packets:
+        Target total packet count (the realized count varies a few percent
+        with the flow-size draws).
+    mean_flow_pkts:
+        Target mean flow size; combined with ``n_packets`` this sets the
+        number of flows.
+    flow_size:
+        Flow-size sampler (packets per flow).
+    sizes:
+        Packet-size mix.
+    mean_gap, rate_sigma, gap_sigma:
+        Intra-flow inter-packet gaps.  Each flow draws its own mean gap
+        (lognormal around ``mean_gap`` with shape ``rate_sigma`` — flows
+        have heterogeneous rates), and each packet draws a lognormal gap
+        with shape ``gap_sigma`` around the flow's mean.  Keeping per-flow
+        rates small relative to the link (backbone-like) means congestion
+        comes from *aggregation*, not from any single flow overrunning the
+        link.  Flows whose packets would fall past the trace end are
+        truncated, as in any fixed-window capture.
+    src_base, dst_base:
+        /16 bases for synthetic endpoint pools (ignored by the fat-tree
+        front-end).
+    n_hosts:
+        Number of distinct hosts per pool.
+    """
+
+    def __init__(
+        self,
+        duration: float = 2.0,
+        n_packets: int = 200_000,
+        mean_flow_pkts: float = 15.0,
+        flow_size: Optional[BoundedPareto] = None,
+        sizes: Optional[PacketSizeMix] = None,
+        mean_gap: float = 1e-3,
+        rate_sigma: float = 1.0,
+        gap_sigma: float = 1.2,
+        src_base: str = "10.1.0.0",
+        dst_base: str = "10.2.0.0",
+        n_hosts: int = 4096,
+    ):
+        if duration <= 0:
+            raise ValueError(f"duration must be positive: {duration}")
+        if n_packets <= 0:
+            raise ValueError(f"n_packets must be positive: {n_packets}")
+        self.duration = duration
+        self.n_packets = n_packets
+        self.mean_flow_pkts = mean_flow_pkts
+        self.flow_size = flow_size or BoundedPareto(alpha=1.25, low=1.0, high=2e4)
+        self.sizes = sizes or PacketSizeMix()
+        if mean_gap <= 0:
+            raise ValueError(f"mean_gap must be positive: {mean_gap}")
+        self.mean_gap = mean_gap
+        self.rate_sigma = rate_sigma
+        self.gap_sigma = gap_sigma
+        self.src_base = ip_to_int(src_base)
+        self.dst_base = ip_to_int(dst_base)
+        self.n_hosts = n_hosts
+
+
+def _flow_packet_times(
+    rng: np.random.Generator, cfg: TraceConfig, n_flows: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw flow start times/sizes and expand to per-packet times.
+
+    Returns time-sorted (flow_index, packet_time) arrays clipped to the
+    trace span (flows near the end are truncated, as in any fixed-window
+    capture).
+    """
+    starts = rng.uniform(0.0, cfg.duration, n_flows)
+    # calibrate sizes so the realized total lands near n_packets
+    sizes_f = cfg.flow_size.sample(rng, n_flows)
+    sizes = np.maximum(1, np.round(sizes_f * (cfg.mean_flow_pkts / cfg.flow_size.mean()))).astype(
+        np.int64
+    )
+    total = int(sizes.sum())
+    flow_idx = np.repeat(np.arange(n_flows), sizes)
+    # per-flow mean gap (heterogeneous flow rates), then per-packet jitter
+    rs = cfg.rate_sigma
+    flow_gap = cfg.mean_gap * rng.lognormal(-0.5 * rs * rs, rs, n_flows)
+    mean_gaps = np.repeat(flow_gap, sizes)
+    sigma = cfg.gap_sigma
+    gaps = mean_gaps * rng.lognormal(-0.5 * sigma * sigma, sigma, total)
+    # per-flow cumulative gaps: global cumsum minus each flow's base
+    cum = np.cumsum(gaps)
+    flow_ends = np.cumsum(sizes)
+    first = np.concatenate(([0], flow_ends[:-1]))
+    base = np.repeat(cum[first] - gaps[first], sizes)
+    offsets = cum - base  # first packet of a flow lands one gap after start
+    times = starts[flow_idx] + offsets
+    keep = times < cfg.duration
+    flow_idx, times = flow_idx[keep], times[keep]
+    order = np.argsort(times, kind="stable")
+    return flow_idx[order], times[order]
+
+
+def generate_trace(cfg: TraceConfig, seed: int = 0, name: str = "synthetic") -> Trace:
+    """Generate a synthetic trace with endpoints from flat address pools."""
+    rng = np.random.default_rng(seed)
+    n_flows = max(1, int(round(cfg.n_packets / cfg.mean_flow_pkts)))
+    srcs = cfg.src_base + rng.integers(1, cfg.n_hosts + 1, n_flows)
+    dsts = cfg.dst_base + rng.integers(1, cfg.n_hosts + 1, n_flows)
+    sports = rng.integers(1024, 65536, n_flows)
+    dports = rng.integers(1, 65536, n_flows)
+    return _materialize(rng, cfg, srcs, dsts, sports, dports, name)
+
+
+def generate_fattree_trace(
+    cfg: TraceConfig,
+    host_pairs: Sequence[Tuple[int, int]],
+    seed: int = 0,
+    name: str = "fattree-synthetic",
+) -> Trace:
+    """Generate a trace whose flows run between the given host-address pairs.
+
+    ``host_pairs`` are candidate (src, dst) endpoint pairs (e.g. all
+    inter-pod pairs, or pairs between two specific ToRs); each flow picks one
+    uniformly at random.
+    """
+    if not host_pairs:
+        raise ValueError("host_pairs must not be empty")
+    rng = np.random.default_rng(seed)
+    n_flows = max(1, int(round(cfg.n_packets / cfg.mean_flow_pkts)))
+    pair_idx = rng.integers(0, len(host_pairs), n_flows)
+    pairs = np.asarray(host_pairs, dtype=np.int64)
+    srcs = pairs[pair_idx, 0]
+    dsts = pairs[pair_idx, 1]
+    sports = rng.integers(1024, 65536, n_flows)
+    dports = rng.integers(1, 65536, n_flows)
+    return _materialize(rng, cfg, srcs, dsts, sports, dports, name)
+
+
+def _materialize(
+    rng: np.random.Generator,
+    cfg: TraceConfig,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    sports: np.ndarray,
+    dports: np.ndarray,
+    name: str,
+) -> Trace:
+    flow_idx, times = _flow_packet_times(rng, cfg, len(srcs))
+    pkt_sizes = cfg.sizes.sample(rng, len(times))
+    packets: List[Packet] = [
+        Packet(
+            src=int(srcs[f]),
+            dst=int(dsts[f]),
+            sport=int(sports[f]),
+            dport=int(dports[f]),
+            proto=6,
+            size=int(pkt_sizes[i]),
+            ts=float(times[i]),
+            kind=PacketKind.REGULAR,
+        )
+        for i, f in enumerate(flow_idx)
+    ]
+    return Trace(packets, name=name, check_sorted=False)

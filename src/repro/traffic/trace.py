@@ -1,0 +1,164 @@
+"""Trace container: an ordered sequence of packets with summary statistics.
+
+Stands in for the paper's "two 1 minute traces collected from an OC-192
+link" — one regular, one cross.  Traces can be saved/loaded (npz columnar
+format), sliced in time, address-remapped (the paper "modif[ies] IP
+addresses of cross traffic to distinguish from regular traffic"), and cloned
+per run (simulation mutates packet bookkeeping fields).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from ..net.packet import Packet, PacketKind
+
+__all__ = ["Trace"]
+
+_COLUMNS = ("src", "dst", "sport", "dport", "proto", "size", "ts", "kind")
+
+
+class Trace:
+    """An immutable-by-convention, time-sorted packet sequence."""
+
+    def __init__(self, packets: List[Packet], name: str = "trace", check_sorted: bool = True):
+        if check_sorted:
+            last = float("-inf")
+            for p in packets:
+                if p.ts < last:
+                    raise ValueError(f"trace not sorted by ts at t={p.ts}")
+                last = p.ts
+        self.packets = packets
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basics
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self.packets)
+
+    def __getitem__(self, idx):
+        return self.packets[idx]
+
+    @property
+    def duration(self) -> float:
+        """Span from 0 to the last packet's timestamp (0 if empty)."""
+        return self.packets[-1].ts if self.packets else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self.packets)
+
+    @property
+    def n_flows(self) -> int:
+        return len({p.flow_key for p in self.packets})
+
+    def mean_rate_bps(self) -> float:
+        """Average offered rate over the trace span."""
+        d = self.duration
+        return self.total_bytes * 8.0 / d if d > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # transformations (all return new traces; packets are cloned)
+
+    def clone_packets(self) -> List[Packet]:
+        """Fresh packet copies for one simulation run.
+
+        The simulator mutates bookkeeping fields (``dropped``, ``tap_time``,
+        ``hops``); cloning lets the same trace drive many runs.
+        """
+        return [p.clone() for p in self.packets]
+
+    def slice_time(self, start: float, end: float, name: Optional[str] = None) -> "Trace":
+        """Packets with ``start <= ts < end`` (cloned, timestamps kept)."""
+        chosen = [p.clone() for p in self.packets if start <= p.ts < end]
+        return Trace(chosen, name or f"{self.name}[{start}:{end}]", check_sorted=False)
+
+    def remap_addresses(self, fn: Callable[[int, int], tuple], name: Optional[str] = None) -> "Trace":
+        """Apply ``fn(src, dst) -> (src', dst')`` to every packet (cloned)."""
+        out = []
+        for p in self.packets:
+            q = p.clone()
+            q.src, q.dst = fn(p.src, p.dst)
+            out.append(q)
+        return Trace(out, name or f"{self.name}+remap", check_sorted=False)
+
+    def with_kind(self, kind: PacketKind, name: Optional[str] = None) -> "Trace":
+        """Cloned trace with every packet's kind set to *kind*."""
+        out = []
+        for p in self.packets:
+            q = p.clone()
+            q.kind = kind
+            out.append(q)
+        return Trace(out, name or f"{self.name}+{kind.name.lower()}", check_sorted=False)
+
+    @staticmethod
+    def merge(traces: Iterable["Trace"], name: str = "merged") -> "Trace":
+        """Time-sorted merge of several traces (cloned packets)."""
+        packets: List[Packet] = []
+        for trace in traces:
+            packets.extend(p.clone() for p in trace.packets)
+        packets.sort(key=lambda p: p.ts)
+        return Trace(packets, name, check_sorted=False)
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def save(self, path: str) -> None:
+        """Write the trace as a compressed columnar npz file."""
+        n = len(self.packets)
+        cols = {
+            "src": np.empty(n, dtype=np.uint32),
+            "dst": np.empty(n, dtype=np.uint32),
+            "sport": np.empty(n, dtype=np.uint16),
+            "dport": np.empty(n, dtype=np.uint16),
+            "proto": np.empty(n, dtype=np.uint8),
+            "size": np.empty(n, dtype=np.uint16),
+            "ts": np.empty(n, dtype=np.float64),
+            "kind": np.empty(n, dtype=np.uint8),
+        }
+        for i, p in enumerate(self.packets):
+            cols["src"][i] = p.src
+            cols["dst"][i] = p.dst
+            cols["sport"][i] = p.sport
+            cols["dport"][i] = p.dport
+            cols["proto"][i] = p.proto
+            cols["size"][i] = p.size
+            cols["ts"][i] = p.ts
+            cols["kind"][i] = int(p.kind)
+        np.savez_compressed(path, name=np.array(self.name), **cols)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        data = np.load(path, allow_pickle=False)
+        missing = [c for c in _COLUMNS if c not in data]
+        if missing:
+            raise ValueError(f"not a trace file, missing columns: {missing}")
+        n = len(data["ts"])
+        packets = [
+            Packet(
+                src=int(data["src"][i]),
+                dst=int(data["dst"][i]),
+                sport=int(data["sport"][i]),
+                dport=int(data["dport"][i]),
+                proto=int(data["proto"][i]),
+                size=int(data["size"][i]),
+                ts=float(data["ts"][i]),
+                kind=PacketKind(int(data["kind"][i])),
+            )
+            for i in range(n)
+        ]
+        name = str(data["name"]) if "name" in data else "trace"
+        return cls(packets, name=name, check_sorted=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}: {len(self.packets)} pkts, "
+            f"{self.n_flows} flows, {self.duration:.3f}s)"
+        )

@@ -1,0 +1,144 @@
+"""Tests for IPv4 parsing, prefixes and longest-prefix matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addressing import Prefix, PrefixTrie, int_to_ip, ip_to_int
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+        assert int_to_ip(0x0A000001) == "10.0.0.1"
+
+    def test_zero_and_max(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == (1 << 32) - 1
+
+    def test_bad_octet_count(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.256")
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefix:
+    def test_canonicalizes_host_bits(self):
+        p = Prefix(ip_to_int("10.1.2.3"), 16)
+        assert int_to_ip(p.network) == "10.1.0.0"
+
+    def test_parse_with_and_without_length(self):
+        assert Prefix.parse("10.1.0.0/16").length == 16
+        assert Prefix.parse("10.1.2.3").length == 32
+
+    def test_contains(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert ip_to_int("10.1.255.255") in p
+        assert ip_to_int("10.2.0.0") not in p
+
+    def test_zero_length_contains_everything(self):
+        p = Prefix(0, 0)
+        assert p.contains(0)
+        assert p.contains((1 << 32) - 1)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.1.0.0/16")
+        b = Prefix.parse("10.1.2.0/24")
+        c = Prefix.parse("10.2.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_subprefixes(self):
+        low, high = Prefix.parse("10.0.0.0/8").subprefixes()
+        assert str(low) == "10.0.0.0/9"
+        assert str(high) == "10.128.0.0/9"
+
+    def test_subprefix_of_host_route_fails(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/32").subprefixes()
+
+    def test_equality_and_hash(self):
+        assert Prefix.parse("10.1.0.0/16") == Prefix.parse("10.1.99.0/16")
+        assert len({Prefix.parse("10.1.0.0/16"), Prefix.parse("10.1.4.0/16")}) == 1
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+
+class TestPrefixTrie:
+    def test_longest_match_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "mid")
+        trie.insert(Prefix.parse("10.1.2.0/24"), "fine")
+        assert trie.lookup(ip_to_int("10.1.2.3")) == "fine"
+        assert trie.lookup(ip_to_int("10.1.9.9")) == "mid"
+        assert trie.lookup(ip_to_int("10.9.9.9")) == "coarse"
+        assert trie.lookup(ip_to_int("11.0.0.0")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        assert trie.lookup(ip_to_int("1.2.3.4")) == "default"
+        assert trie.lookup(ip_to_int("10.2.3.4")) == "ten"
+
+    def test_replace_value(self):
+        trie = PrefixTrie()
+        p = Prefix.parse("10.0.0.0/8")
+        trie.insert(p, 1)
+        trie.insert(p, 2)
+        assert trie.lookup_exact(p) == 2
+        assert len(trie) == 1
+
+    def test_lookup_exact_misses_covering_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert trie.lookup_exact(Prefix.parse("10.1.0.0/16")) is None
+
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        prefixes = [Prefix.parse(s) for s in ("10.0.0.0/8", "10.1.0.0/16", "192.168.1.0/24")]
+        for i, p in enumerate(prefixes):
+            trie.insert(p, i)
+        assert dict(trie.items()) == {p: i for i, p in enumerate(prefixes)}
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=0, max_value=32),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1), min_size=1, max_size=30),
+    )
+    def test_matches_bruteforce(self, entries, queries):
+        """Trie LPM equals brute-force longest-match over the same entries."""
+        trie = PrefixTrie()
+        table = {}
+        for i, (net, length) in enumerate(entries):
+            p = Prefix(net, length)
+            trie.insert(p, i)
+            table[p] = i  # later insert wins, same as trie semantics
+        for addr in queries:
+            best = None
+            best_len = -1
+            for p, v in table.items():
+                if p.contains(addr) and p.length > best_len:
+                    best, best_len = v, p.length
+            assert trie.lookup(addr) == best

@@ -1,0 +1,116 @@
+"""Tests for error metrics, CDFs and report formatting."""
+
+import pytest
+
+from repro.analysis.cdf import Ecdf
+from repro.analysis.metrics import flow_mean_errors, flow_std_errors, relative_error
+from repro.analysis.report import format_cdf_series, format_table, pct, us
+from repro.core.flowstats import FlowStatsTable
+
+KEY1 = (1, 2, 3, 4, 6)
+KEY2 = (5, 6, 7, 8, 6)
+KEY3 = (9, 9, 9, 9, 6)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+def tables():
+    est, true = FlowStatsTable(), FlowStatsTable()
+    for v in (10.0, 12.0):  # true mean 11, std 1
+        true.add(KEY1, v)
+    for v in (11.0, 13.0):  # est mean 12, std 1
+        est.add(KEY1, v)
+    true.add(KEY2, 5.0)  # single-packet flow
+    est.add(KEY2, 6.0)
+    true.add(KEY3, 7.0)  # flow with no estimate
+    return est, true
+
+
+class TestFlowErrors:
+    def test_mean_errors(self):
+        est, true = tables()
+        join = flow_mean_errors(est, true)
+        assert join.joined == 2
+        assert join.skipped_missing == 1
+        assert sorted(join.errors) == [pytest.approx(1 / 11), pytest.approx(0.2)]
+
+    def test_std_errors_skip_singletons(self):
+        est, true = tables()
+        join = flow_std_errors(est, true)
+        assert join.joined == 1  # only KEY1 has >= 2 packets
+        assert join.errors[0] == pytest.approx(0.0)
+
+    def test_std_errors_skip_zero_std(self):
+        est, true = FlowStatsTable(), FlowStatsTable()
+        for _ in range(3):
+            true.add(KEY1, 5.0)  # zero variance
+            est.add(KEY1, 5.0)
+        join = flow_std_errors(est, true)
+        assert join.joined == 0
+        assert join.skipped_zero == 1
+
+
+class TestEcdf:
+    def test_fraction_below(self):
+        cdf = Ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.fraction_below(2.5) == 0.5
+        assert cdf.fraction_below(0.5) == 0.0
+        assert cdf.fraction_below(10.0) == 1.0
+
+    def test_fraction_below_inclusive(self):
+        cdf = Ecdf([1.0, 2.0])
+        assert cdf.fraction_below(1.0) == 0.5
+
+    def test_median_quantiles(self):
+        cdf = Ecdf(range(1, 101))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Ecdf([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf([])
+
+    def test_curve_monotone(self):
+        cdf = Ecdf([0.01 * i for i in range(1, 200)])
+        curve = cdf.curve(points=20)
+        fractions = [f for _, f in curve]
+        assert fractions == sorted(fractions)
+
+    def test_summary_keys(self):
+        s = Ecdf([0.05, 0.15, 0.2]).summary()
+        assert s["n"] == 3
+        assert s["frac_below_10pct"] == pytest.approx(1 / 3)
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # equal widths
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_cdf_series(self):
+        out = format_cdf_series("x", [(0.1, 0.5), (1.0, 0.9)])
+        assert out.startswith("x:")
+        assert "0.1->0.50" in out
+
+    def test_pct_us(self):
+        assert pct(0.125) == "12.5%"
+        assert us(83e-6) == "83.0us"

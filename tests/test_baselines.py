@@ -1,0 +1,156 @@
+"""Tests for the comparison baselines: LDA, Multiflow, trajectory sampling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lda import Lda
+from repro.baselines.multiflow import MultiflowEstimator
+from repro.baselines.trajectory import TrajectorySampler
+from repro.net.addressing import ip_to_int
+from repro.net.packet import Packet
+
+
+def stream(n=2000, n_flows=50, seed=0, base_delay=100e-6, jitter=50e-6):
+    """(packet, tx_time, rx_time) tuples with known delays."""
+    rng = np.random.default_rng(seed)
+    out = []
+    t = 0.0
+    for i in range(n):
+        t += float(rng.exponential(1e-4))
+        p = Packet(src=ip_to_int("10.1.0.1"), dst=ip_to_int("10.2.0.1"),
+                   sport=i % n_flows, dport=80, size=500, ts=t)
+        delay = base_delay + float(rng.uniform(0, jitter))
+        out.append((p, t, t + delay))
+    return out
+
+
+class TestLda:
+    def test_exact_mean_without_loss(self):
+        lda = Lda(n_buckets=256)
+        delays = []
+        for p, tx, rx in stream():
+            lda.on_tx(p, tx)
+            lda.on_rx(p, rx)
+            delays.append(rx - tx)
+        est = lda.estimate()
+        assert est.mean == pytest.approx(np.mean(delays), rel=1e-9)
+        assert est.samples == len(delays)
+
+    def test_loss_poisons_some_buckets_only(self):
+        lda = Lda(n_buckets=256, bank_probs=(1.0,))
+        rng = np.random.default_rng(1)
+        kept_delays = []
+        for p, tx, rx in stream():
+            lda.on_tx(p, tx)
+            if rng.random() < 0.05:  # 5% loss after tx accounting
+                continue
+            lda.on_rx(p, rx)
+            kept_delays.append(rx - tx)
+        est = lda.estimate()
+        assert est.usable_buckets < 256
+        assert est.samples > 0
+        # usable buckets still estimate the mean well
+        assert est.mean == pytest.approx(np.mean(kept_delays), rel=0.15)
+
+    def test_multi_bank_survives_heavy_loss(self):
+        """At 30% loss the p=1.0 bank dies but a sampled bank survives."""
+        lda = Lda(n_buckets=64, bank_probs=(1.0, 0.05))
+        rng = np.random.default_rng(2)
+        for p, tx, rx in stream(n=20_000, n_flows=500):
+            lda.on_tx(p, tx)
+            if rng.random() < 0.3:
+                continue
+            lda.on_rx(p, rx)
+        est = lda.estimate()
+        assert est.samples > 0
+        assert est.mean is not None
+
+    def test_both_ends_place_identically(self):
+        a, b = Lda(seed=3), Lda(seed=3)
+        for p, tx, rx in stream(n=100):
+            assert a._placement(p) == b._placement(p)
+
+    def test_pipeline_protocol_adapters(self):
+        lda = Lda()
+        p, tx, rx = stream(n=1)[0]
+        lda.on_regular(p, tx)
+        lda.observe(p, rx)
+        assert lda.tx_packets == lda.rx_packets == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Lda(n_buckets=0)
+        with pytest.raises(ValueError):
+            Lda(bank_probs=())
+        with pytest.raises(ValueError):
+            Lda(bank_probs=(1.5,))
+
+
+class TestMultiflow:
+    def test_constant_delay_recovered_exactly(self):
+        mf = MultiflowEstimator()
+        for p, tx, rx in stream(jitter=0.0):
+            mf.on_regular(p, tx)
+            mf.observe(p, rx)
+        for key, est in mf.estimates().items():
+            assert est == pytest.approx(100e-6)
+
+    def test_two_sample_estimator_formula(self):
+        mf = MultiflowEstimator()
+        packets = [Packet(src=1, dst=2, sport=1, size=100, ts=t) for t in (0.0, 0.5, 1.0)]
+        delays = [10e-6, 99e-6, 30e-6]  # middle packet invisible to Multiflow
+        for p, d in zip(packets, delays):
+            mf.on_regular(p, p.ts)
+            mf.observe(p, p.ts + d)
+        est = mf.estimate_flow(packets[0].flow_key)
+        assert est == pytest.approx((10e-6 + 30e-6) / 2)
+
+    def test_unseen_flow_returns_none(self):
+        mf = MultiflowEstimator()
+        assert mf.estimate_flow((9, 9, 9, 9, 6)) is None
+
+    def test_flow_missing_at_one_end_excluded(self):
+        mf = MultiflowEstimator()
+        p = Packet(src=1, dst=2, sport=1, size=100, ts=0.0)
+        mf.on_regular(p, 0.0)  # lost before the receiver
+        assert mf.estimates() == {}
+
+
+class TestTrajectory:
+    def test_sampled_delays_exact(self):
+        tr = TrajectorySampler(prob=0.2, seed=4)
+        expected = {}
+        for p, tx, rx in stream(n=5000):
+            tr.on_regular(p, tx)
+            tr.observe(p, rx)
+        for key, delay in tr.delays():
+            assert 100e-6 <= delay <= 151e-6
+
+    def test_sampling_consistent_at_both_ends(self):
+        """Hash-based selection: both points sample the same packets."""
+        tr = TrajectorySampler(prob=0.1, seed=5)
+        for p, tx, rx in stream(n=5000):
+            tr.on_regular(p, tx)
+            tr.observe(p, rx)
+        assert tr.tx_sampled == tr.rx_sampled == len(tr.delays())
+
+    def test_sampling_rate_near_prob(self):
+        tr = TrajectorySampler(prob=0.1, seed=6)
+        n = 20_000
+        for p, tx, rx in stream(n=n, n_flows=1000):
+            tr.on_regular(p, tx)
+        assert 0.08 * n < tr.tx_sampled < 0.12 * n
+
+    def test_per_flow_coverage_is_partial(self):
+        """Sampling misses most short flows — RLI's advantage."""
+        tr = TrajectorySampler(prob=0.02, seed=7)
+        flows = set()
+        for p, tx, rx in stream(n=5000, n_flows=500):
+            flows.add(p.flow_key)
+            tr.on_regular(p, tx)
+            tr.observe(p, rx)
+        assert len(tr.per_flow()) < len(flows)
+
+    def test_invalid_prob(self):
+        with pytest.raises(ValueError):
+            TrajectorySampler(prob=0.0)

@@ -1,0 +1,62 @@
+"""Tests for the memory-bounded flow table and its receiver integration."""
+
+import pytest
+
+from repro.core.demux import SingleSenderDemux
+from repro.core.flowstats import BoundedFlowStatsTable
+from repro.core.receiver import RliReceiver
+
+
+def key(i):
+    return (i, 2, 3, 4, 6)
+
+
+class TestBoundedTable:
+    def test_never_exceeds_bound(self):
+        t = BoundedFlowStatsTable(max_flows=10)
+        for i in range(100):
+            t.add(key(i), 1.0)
+        assert len(t) == 10
+
+    def test_lru_eviction_order(self):
+        t = BoundedFlowStatsTable(max_flows=2)
+        t.add(key(1), 1.0)
+        t.add(key(2), 1.0)
+        t.add(key(1), 2.0)  # refresh 1; 2 becomes least recent
+        t.add(key(3), 1.0)  # evicts 2
+        assert key(1) in t and key(3) in t and key(2) not in t
+
+    def test_eviction_counters(self):
+        t = BoundedFlowStatsTable(max_flows=1)
+        t.add(key(1), 1.0)
+        t.add(key(1), 2.0)
+        t.add(key(2), 1.0)  # evicts flow 1 with 2 samples
+        assert t.evicted_flows == 1
+        assert t.evicted_samples == 2
+
+    def test_stats_correct_for_survivors(self):
+        t = BoundedFlowStatsTable(max_flows=5)
+        for v in (1.0, 3.0):
+            t.add(key(1), v)
+        assert t.get(key(1)).mean == 2.0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            BoundedFlowStatsTable(0)
+
+    def test_total_samples_counts_survivors_only(self):
+        t = BoundedFlowStatsTable(max_flows=1)
+        t.add(key(1), 1.0)
+        t.add(key(2), 1.0)
+        assert t.total_samples() == 1
+
+
+class TestReceiverIntegration:
+    def test_receiver_tables_bounded(self):
+        rx = RliReceiver(SingleSenderDemux(1), max_flows=4)
+        assert isinstance(rx.flow_estimated, BoundedFlowStatsTable)
+        assert isinstance(rx.flow_true, BoundedFlowStatsTable)
+
+    def test_unbounded_by_default(self):
+        rx = RliReceiver(SingleSenderDemux(1))
+        assert not isinstance(rx.flow_true, BoundedFlowStatsTable)

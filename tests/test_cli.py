@@ -1,0 +1,91 @@
+"""Tests for the repro-rlir command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("generate-trace", "trace-info", "convert", "fig4a",
+                        "fig4b", "fig4c", "fig5", "placement", "localize"):
+            # smallest valid invocation parses
+            args = {"generate-trace": [command, "--out", "x.npz"],
+                    "trace-info": [command, "x.npz"],
+                    "convert": [command, "a.npz", "b.csv"]}.get(command, [command])
+            assert parser.parse_args(args).command == command
+
+
+class TestTraceCommands:
+    def test_generate_and_info_npz(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        assert main(["generate-trace", "--packets", "500", "--duration", "0.2",
+                     "--out", out]) == 0
+        assert main(["trace-info", out]) == 0
+        captured = capsys.readouterr().out
+        assert "packets:" in captured
+        assert "flows:" in captured
+
+    def test_generate_csv(self, tmp_path, capsys):
+        out = str(tmp_path / "t.csv")
+        assert main(["generate-trace", "--packets", "200", "--duration", "0.2",
+                     "--out", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        npz = str(tmp_path / "t.npz")
+        csv = str(tmp_path / "t.csv")
+        back = str(tmp_path / "u.npz")
+        main(["generate-trace", "--packets", "200", "--duration", "0.2",
+              "--out", npz])
+        assert main(["convert", npz, csv]) == 0
+        assert main(["convert", csv, back]) == 0
+        from repro.traffic.trace import Trace
+        assert len(Trace.load(npz)) == len(Trace.load(back))
+
+
+class TestAnalysisCommands:
+    def test_placement(self, capsys):
+        assert main(["placement", "--k", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ToR pair" in out
+        assert "4480" in out  # full deployment at k=8
+
+    def test_fig4a_tiny(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert main(["fig4a", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive, 93%" in out
+
+    def test_fig5_tiny(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert main(["fig5", "--seeds", "1", "--no-plot"]) == 0
+        assert "adaptive diff" in capsys.readouterr().out
+
+    def test_fig4c_with_plot(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert main(["fig4c"]) == 0
+        out = capsys.readouterr().out
+        assert "relative error (log)" in out  # the ascii plot rendered
+
+    def test_localize(self, capsys):
+        assert main(["localize", "--packets", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "culprit" in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "placement", "--k", "4"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "ToR pair" in proc.stdout

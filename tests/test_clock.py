@@ -1,0 +1,44 @@
+"""Tests for measurement-instance clock models."""
+
+import pytest
+
+from repro.sim.clock import DriftingClock, OffsetClock, PerfectClock
+
+
+class TestClocks:
+    def test_perfect(self):
+        assert PerfectClock().now(1.5) == 1.5
+
+    def test_offset(self):
+        assert OffsetClock(2e-6).now(1.0) == pytest.approx(1.0 + 2e-6)
+        assert OffsetClock(-1e-6).now(1.0) == pytest.approx(1.0 - 1e-6)
+
+    def test_offset_biases_delay_samples(self):
+        """A receiver offset o biases every measured delay by +o."""
+        sender, receiver = PerfectClock(), OffsetClock(5e-6)
+        tx = sender.now(0.0)
+        rx = receiver.now(100e-6)
+        assert rx - tx == pytest.approx(105e-6)
+
+    def test_drift_accumulates(self):
+        c = DriftingClock(drift_ppm=10.0)
+        assert c.now(0.0) == 0.0
+        assert c.now(1.0) == pytest.approx(1.0 + 10e-6)
+        assert c.now(2.0) == pytest.approx(2.0 + 20e-6)
+
+    def test_drift_plus_offset(self):
+        c = DriftingClock(offset=1e-6, drift_ppm=1.0)
+        assert c.now(1.0) == pytest.approx(1.0 + 1e-6 + 1e-6)
+
+    def test_jitter_is_seeded(self):
+        a = DriftingClock(jitter_std=1e-6, seed=3)
+        b = DriftingClock(jitter_std=1e-6, seed=3)
+        assert [a.now(t) for t in (0.0, 1.0)] == [b.now(t) for t in (0.0, 1.0)]
+
+    def test_jitter_perturbs(self):
+        c = DriftingClock(jitter_std=1e-6, seed=3)
+        assert c.now(1.0) != 1.0
+
+    def test_no_jitter_is_deterministic_function(self):
+        c = DriftingClock(offset=1e-6)
+        assert c.now(1.0) == c.now(1.0)

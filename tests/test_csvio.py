@@ -1,0 +1,53 @@
+"""Tests for CSV trace interchange."""
+
+import pytest
+
+from repro.net.packet import PacketKind
+from repro.traffic.csvio import load_csv, save_csv
+from repro.traffic.trace import Trace
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path, small_trace):
+        path = str(tmp_path / "t.csv")
+        save_csv(small_trace, path)
+        loaded = load_csv(path)
+        assert len(loaded) == len(small_trace)
+        for a, b in zip(small_trace, loaded):
+            assert a.flow_key == b.flow_key
+            assert a.size == b.size
+            assert a.ts == pytest.approx(b.ts, abs=1e-9)
+            assert a.kind == b.kind
+
+    def test_without_kind_column(self, tmp_path, small_trace):
+        path = str(tmp_path / "t.csv")
+        save_csv(small_trace, path, include_kind=False)
+        loaded = load_csv(path)
+        assert all(p.kind == PacketKind.REGULAR for p in loaded)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ts,src\n0.0,10.0.0.1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_csv(str(path))
+
+    def test_bad_row_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ts,src,dst,sport,dport,proto,size\n"
+                        "0.0,10.0.0.1,10.0.0.2,1,2,6,100\n"
+                        "0.1,not-an-ip,10.0.0.2,1,2,6,100\n")
+        with pytest.raises(ValueError, match="line 3"):
+            load_csv(str(path))
+
+    def test_unsorted_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ts,src,dst,sport,dport,proto,size\n"
+                        "1.0,10.0.0.1,10.0.0.2,1,2,6,100\n"
+                        "0.5,10.0.0.1,10.0.0.2,1,2,6,100\n")
+        with pytest.raises(ValueError, match="not time-sorted"):
+            load_csv(str(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.csv")
+        save_csv(Trace([]), path)
+        assert len(load_csv(path)) == 0

@@ -1,0 +1,112 @@
+"""Tests for the RLIR stream demultiplexers."""
+
+import pytest
+
+from repro.core.demux import (
+    PathClassifierDemux,
+    SingleSenderDemux,
+    UpstreamPrefixDemux,
+)
+from repro.core.marking import MarkingClassifier, assign_marks
+from repro.net.addressing import Prefix, ip_to_int
+from repro.net.headers import encode_mark
+from repro.net.packet import Packet, PacketKind
+
+
+def regular(src="10.1.0.1", tos=0):
+    return Packet(src=ip_to_int(src), dst=ip_to_int("10.2.0.1"), tos=tos)
+
+
+def reference(sender_id):
+    return Packet(src=0, dst=0, kind=PacketKind.REFERENCE, sender_id=sender_id)
+
+
+class TestSingleSenderDemux:
+    def test_all_regulars_to_sender(self):
+        d = SingleSenderDemux(7)
+        assert d.classify_regular(regular()) == 7
+
+    def test_prefix_filter(self):
+        d = SingleSenderDemux(7, regular_prefixes=[Prefix.parse("10.1.0.0/16")])
+        assert d.classify_regular(regular("10.1.2.3")) == 7
+        assert d.classify_regular(regular("10.9.2.3")) is None
+
+    def test_reference_by_sender_id(self):
+        d = SingleSenderDemux(7)
+        assert d.classify_reference(reference(7)) == 7
+        assert d.classify_reference(reference(8)) is None
+
+
+class TestUpstreamPrefixDemux:
+    def make(self):
+        return UpstreamPrefixDemux([
+            (Prefix.parse("10.1.0.0/24"), 100),
+            (Prefix.parse("10.1.1.0/24"), 101),
+        ])
+
+    def test_origin_tor_identified(self):
+        d = self.make()
+        assert d.classify_regular(regular("10.1.0.9")) == 100
+        assert d.classify_regular(regular("10.1.1.9")) == 101
+
+    def test_unknown_origin_ignored(self):
+        assert self.make().classify_regular(regular("10.9.0.1")) is None
+
+    def test_references_from_either_sender(self):
+        d = self.make()
+        assert d.classify_reference(reference(100)) == 100
+        assert d.classify_reference(reference(101)) == 101
+        assert d.classify_reference(reference(102)) is None
+
+    def test_requires_mappings(self):
+        with pytest.raises(ValueError):
+            UpstreamPrefixDemux([])
+
+
+class TestPathClassifierDemux:
+    def make(self, with_prefix=True):
+        marks = MarkingClassifier({1: 200, 2: 201})
+        prefixes = [Prefix.parse("10.1.0.0/16")] if with_prefix else None
+        return PathClassifierDemux(marks, sender_ids=[200, 201],
+                                   source_prefixes=prefixes)
+
+    def test_marked_packet_classified(self):
+        d = self.make()
+        p = regular(tos=encode_mark(0, 2))
+        assert d.classify_regular(p) == 201
+
+    def test_unmarked_packet_ignored(self):
+        assert self.make().classify_regular(regular()) is None
+
+    def test_source_prefix_filter_first(self):
+        d = self.make()
+        p = regular(src="10.9.0.1", tos=encode_mark(0, 1))
+        assert d.classify_regular(p) is None
+
+    def test_classifier_result_must_be_subscribed(self):
+        marks = MarkingClassifier({1: 999})  # maps to an unsubscribed sender
+        d = PathClassifierDemux(marks, sender_ids=[200])
+        assert d.classify_regular(regular(tos=encode_mark(0, 1))) is None
+
+    def test_requires_senders(self):
+        with pytest.raises(ValueError):
+            PathClassifierDemux(lambda p: None, sender_ids=[])
+
+
+class TestMarkingHelpers:
+    def test_assign_marks_distinct_nonzero(self):
+        marks = assign_marks(["a", "b", "c"])
+        assert len(set(marks.values())) == 3
+        assert all(m >= 1 for m in marks.values())
+
+    def test_assign_too_many(self):
+        with pytest.raises(ValueError):
+            assign_marks(range(100))
+
+    def test_marking_classifier_rejects_mark_zero(self):
+        with pytest.raises(ValueError):
+            MarkingClassifier({0: 1})
+
+    def test_marking_classifier_requires_entries(self):
+        with pytest.raises(ValueError):
+            MarkingClassifier({})

@@ -1,0 +1,92 @@
+"""Tests for workload samplers."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.distributions import (
+    BoundedPareto,
+    LognormalGaps,
+    PacketSizeMix,
+)
+
+
+class TestBoundedPareto:
+    def test_samples_within_bounds(self):
+        d = BoundedPareto(alpha=1.2, low=1.0, high=100.0)
+        samples = d.sample(np.random.default_rng(0), 5000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 100.0
+
+    def test_empirical_mean_matches_analytic(self):
+        d = BoundedPareto(alpha=1.3, low=1.0, high=1000.0)
+        samples = d.sample(np.random.default_rng(1), 200_000)
+        assert samples.mean() == pytest.approx(d.mean(), rel=0.05)
+
+    def test_alpha_one_mean(self):
+        d = BoundedPareto(alpha=1.0, low=1.0, high=100.0)
+        samples = d.sample(np.random.default_rng(2), 200_000)
+        assert samples.mean() == pytest.approx(d.mean(), rel=0.05)
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        rng = np.random.default_rng(3)
+        light = BoundedPareto(2.5, 1.0, 1e4).sample(rng, 50_000)
+        rng = np.random.default_rng(3)
+        heavy = BoundedPareto(1.1, 1.0, 1e4).sample(rng, 50_000)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+    def test_deterministic_given_seed(self):
+        d = BoundedPareto(1.2, 1.0, 100.0)
+        a = d.sample(np.random.default_rng(7), 10)
+        b = d.sample(np.random.default_rng(7), 10)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(alpha=0, low=1, high=2),
+        dict(alpha=1, low=0, high=2),
+        dict(alpha=1, low=3, high=2),
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            BoundedPareto(**kwargs)
+
+
+class TestPacketSizeMix:
+    def test_default_mix_mean(self):
+        mix = PacketSizeMix()
+        samples = mix.sample(np.random.default_rng(0), 100_000)
+        assert samples.mean() == pytest.approx(mix.mean(), rel=0.02)
+
+    def test_only_listed_sizes_drawn(self):
+        mix = PacketSizeMix({40: 0.5, 1500: 0.5})
+        samples = mix.sample(np.random.default_rng(0), 1000)
+        assert set(np.unique(samples)) <= {40, 1500}
+
+    def test_probabilities_normalized(self):
+        mix = PacketSizeMix({100: 2.0, 200: 2.0})
+        assert mix.mean() == pytest.approx(150.0)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            PacketSizeMix({})
+
+
+class TestLognormalGaps:
+    def test_mean_matches(self):
+        gaps = LognormalGaps(mean_gap=1e-3, sigma=1.0)
+        samples = gaps.sample(np.random.default_rng(0), 200_000)
+        assert samples.mean() == pytest.approx(1e-3, rel=0.05)
+
+    def test_zero_sigma_constant(self):
+        gaps = LognormalGaps(mean_gap=2e-3, sigma=0.0)
+        samples = gaps.sample(np.random.default_rng(0), 10)
+        assert np.allclose(samples, 2e-3)
+
+    def test_all_positive(self):
+        samples = LognormalGaps(1e-3, 2.0).sample(np.random.default_rng(0), 10_000)
+        assert (samples > 0).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LognormalGaps(0.0)
+        with pytest.raises(ValueError):
+            LognormalGaps(1e-3, sigma=-1.0)

@@ -1,0 +1,87 @@
+"""Tests for ECMP hashing and reference-flow crafting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.ecmp import EcmpHasher, craft_dport_for_port
+
+KEY = (0x0A010203, 0x0A020304, 1234, 80, 6)
+
+
+class TestHasher:
+    def test_deterministic(self):
+        h = EcmpHasher(seed=1)
+        assert h.hash_key(KEY) == h.hash_key(KEY)
+        assert h.choose(KEY, 4) == h.choose(KEY, 4)
+
+    def test_seed_changes_choice_distribution(self):
+        keys = [(s, d, sp, dp, 6) for s in range(20) for d in range(5)
+                for sp, dp in [(1, 2)]]
+        a = [EcmpHasher(seed=1).choose(k, 4) for k in keys]
+        b = [EcmpHasher(seed=2).choose(k, 4) for k in keys]
+        assert a != b  # different salts, different placements
+
+    def test_single_port_shortcut(self):
+        assert EcmpHasher(seed=1).choose(KEY, 1) == 0
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            EcmpHasher(seed=1).choose(KEY, 0)
+
+    def test_field_subset(self):
+        h = EcmpHasher(seed=1, fields=EcmpHasher.ADDRESS_PAIR)
+        base = h.choose(KEY, 8)
+        # ports don't participate: same choice whatever the ports are
+        assert h.choose((KEY[0], KEY[1], 9999, 1, 6), 8) == base
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            EcmpHasher(seed=1, fields=("src", "ttl"))
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            EcmpHasher(seed=1, fields=())
+
+    def test_spread_is_roughly_uniform(self):
+        """With many flows, each of 4 ports gets 15-35% of the flows."""
+        h = EcmpHasher(seed=3)
+        counts = [0, 0, 0, 0]
+        for sport in range(2000):
+            counts[h.choose((KEY[0], KEY[1], sport, 80, 6), 4)] += 1
+        for c in counts:
+            assert 0.15 * 2000 < c < 0.35 * 2000
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=2, max_value=64))
+    def test_choice_in_range(self, src, n_ports):
+        h = EcmpHasher(seed=5)
+        assert 0 <= h.choose((src, 1, 2, 3, 6), n_ports) < n_ports
+
+
+class TestCrafting:
+    @pytest.mark.parametrize("target", [0, 1, 2, 3])
+    def test_crafted_flow_hits_target_port(self, target):
+        h = EcmpHasher(seed=9)
+        dport = craft_dport_for_port(h, 1, 2, 0, 253, 4, target)
+        assert dport is not None
+        assert h.choose((1, 2, 0, dport, 253), 4) == target
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            craft_dport_for_port(EcmpHasher(seed=1), 1, 2, 0, 6, 4, 4)
+
+    def test_dport_excluded_from_hash(self):
+        """If dport isn't hashed, crafting can only succeed by luck."""
+        h = EcmpHasher(seed=1, fields=EcmpHasher.ADDRESS_PAIR)
+        fixed_choice = h.choose((1, 2, 0, 40000, 253), 4)
+        hit = craft_dport_for_port(h, 1, 2, 0, 253, 4, fixed_choice)
+        miss = craft_dport_for_port(h, 1, 2, 0, 253, 4, (fixed_choice + 1) % 4)
+        assert hit == 40000
+        assert miss is None
+
+    def test_all_ports_coverable(self):
+        """A sender can craft one reference flow per equal-cost path."""
+        h = EcmpHasher(seed=11)
+        ports = {craft_dport_for_port(h, 7, 8, 0, 253, 8, t) for t in range(8)}
+        assert None not in ports
+        assert len(ports) == 8  # distinct dports

@@ -1,0 +1,116 @@
+"""Tests for the discrete-event engine over topologies."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.engine import Engine
+from repro.sim.topology import FatTree, LinkParams
+
+
+def interpod_packet(ft, sport=1000, size=500, ts=0.0):
+    return Packet(
+        src=ft.host_address(0, 0, 0),
+        dst=ft.host_address(1, 0, 0),
+        sport=sport,
+        dport=80,
+        size=size,
+        ts=ts,
+    )
+
+
+class TestEngine:
+    def test_single_packet_delivered(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        p = interpod_packet(ft)
+        engine.schedule_arrival(0.0, ft.edges[0][0], p)
+        engine.run()
+        assert engine.delivered == 1
+        assert not p.dropped
+        assert len(p.path) == 5  # edge, agg, core, agg, edge
+
+    def test_delivery_lands_in_destination_sink(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        p = interpod_packet(ft)
+        engine.schedule_arrival(0.0, ft.edges[0][0], p)
+        engine.run()
+        dst_edge = ft.edges[1][0]
+        assert [pkt for pkt, _ in dst_edge.local_sink] == [p]
+
+    def test_end_to_end_latency_includes_queues_and_wires(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        p = interpod_packet(ft, size=1000)
+        engine.schedule_arrival(0.0, ft.edges[0][0], p)
+        engine.run()
+        _, arrival = ft.edges[1][0].local_sink[0]
+        params = ft.params
+        # 4 queue traversals (edge, agg, core, agg egresses) + 4 wires
+        per_hop = params.proc_delay + 1000 * 8 / params.rate_bps + params.prop_delay
+        assert arrival == pytest.approx(4 * per_hop)
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.now = 5.0
+        with pytest.raises(ValueError):
+            engine.schedule_arrival(1.0, None, None)
+
+    def test_events_processed_in_time_order(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        order = []
+        ft.edges[0][0].add_arrival_tap(lambda p, t, i: order.append(t))
+        for ts in (0.3, 0.1, 0.2):
+            engine.schedule_arrival(ts, ft.edges[0][0], interpod_packet(ft, ts=ts))
+        engine.run()
+        assert order == sorted(order)
+
+    def test_run_until_stops_early(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        engine.schedule_arrival(0.0, ft.edges[0][0], interpod_packet(ft))
+        engine.schedule_arrival(10.0, ft.edges[0][0], interpod_packet(ft, sport=2))
+        engine.run(until=1.0)
+        assert engine.pending() == 1
+
+    def test_inject_trace(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        packets = [interpod_packet(ft, sport=s, ts=s * 1e-4) for s in range(10)]
+        count = engine.inject_trace(packets, lambda p: ft.edge_of(p.src))
+        engine.run()
+        assert count == 10
+        assert engine.delivered == 10
+
+    def test_many_flows_all_delivered(self, fattree8):
+        """No drops on an uncongested fabric; every inter-pod packet
+        arrives at its destination ToR."""
+        ft = fattree8
+        engine = Engine()
+        packets = []
+        for s in range(200):
+            p = Packet(
+                src=ft.host_address(s % 8 // 2, s % 2, 0),
+                dst=ft.host_address(4 + s % 4, (s + 1) % 4, 1),
+                sport=s,
+                dport=80,
+                size=200,
+                ts=s * 1e-5,
+            )
+            packets.append(p)
+        engine.inject_trace(packets, lambda p: ft.edge_of(p.src))
+        engine.run()
+        assert engine.delivered == len(packets)
+        assert all(not p.dropped for p in packets)
+
+    def test_congestion_drops_counted(self):
+        """A tiny-buffer fabric under a burst drops some packets."""
+        ft = FatTree(4, LinkParams(rate_bps=1e6, buffer_bytes=1000))
+        engine = Engine()
+        packets = [interpod_packet(ft, sport=s, size=900, ts=0.0) for s in range(50)]
+        engine.inject_trace(packets, lambda p: ft.edge_of(p.src))
+        engine.run()
+        dropped = sum(p.dropped for p in packets)
+        assert dropped > 0
+        assert engine.delivered == len(packets) - dropped

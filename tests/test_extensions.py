@@ -1,0 +1,106 @@
+"""Sanity tests for the extension experiment drivers (tiny scale)."""
+
+import math
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_granularity_comparison,
+    run_memory_ablation,
+    run_multihop_ablation,
+    run_ptp_study,
+)
+
+
+class TestMultihop:
+    def test_latency_grows_with_hops(self, tiny_config):
+        rows = run_multihop_ablation(tiny_config, hops=(1, 3))
+        assert rows[1][2] > rows[0][2]
+
+    def test_rows_shape(self, tiny_config):
+        rows = run_multihop_ablation(tiny_config, hops=(2,))
+        ((hops, median, latency),) = rows
+        assert hops == 2
+        assert 0 <= median < 2.0
+        assert latency > 0
+
+
+class TestGranularity:
+    def test_both_deployments_localize(self):
+        full, rlir = run_granularity_comparison(n_packets=6000)
+        assert full.culprit == "C:cores->agg0"
+        assert rlir.culprit == "seg2:to-dst-tor"
+        assert full.pinned_to_single_queue
+        assert not rlir.pinned_to_single_queue
+        assert rlir.instances < full.instances
+
+
+class TestMemoryAblation:
+    def test_bounds_respected(self, tiny_config):
+        rows = run_memory_ablation(tiny_config, bounds=(None, 64))
+        unbounded, bounded = rows
+        assert unbounded[0] is None and unbounded[2] == 0
+        assert bounded[1] <= 64
+        assert bounded[2] > 0  # evictions happened at this tight bound
+
+    def test_survivor_accuracy_defined(self, tiny_config):
+        rows = run_memory_ablation(tiny_config, bounds=(128,))
+        assert not math.isnan(rows[0][3])
+
+
+class TestPtpStudy:
+    def test_clean_path_perfect(self):
+        rows = run_ptp_study(jitters=(0.0,))
+        assert rows[0][1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_jitter_hurts(self):
+        rows = run_ptp_study(jitters=(0.0, 100e-6), seeds=3)
+        assert rows[1][1] > rows[0][1]
+
+    def test_residual_below_jitter(self):
+        rows = run_ptp_study(jitters=(50e-6,), rounds=64, seeds=3)
+        assert rows[0][1] < 50e-6
+
+
+class TestTailAccuracy:
+    def test_quantile_keys_present(self, tiny_config):
+        from repro.experiments.extensions import run_tail_accuracy
+
+        results = run_tail_accuracy(tiny_config, quantiles=(0.5, 0.95),
+                                    min_packets=10)
+        assert set(results) <= {0.5, 0.95}
+        assert 0.5 in results
+        assert results[0.5].median < 1.0
+
+    def test_min_packets_filter(self, tiny_config):
+        from repro.experiments.extensions import run_tail_accuracy
+
+        strict = run_tail_accuracy(tiny_config, quantiles=(0.5,),
+                                   min_packets=50)
+        loose = run_tail_accuracy(tiny_config, quantiles=(0.5,),
+                                  min_packets=5)
+        if 0.5 in strict and 0.5 in loose:
+            assert len(strict[0.5]) <= len(loose[0.5])
+
+
+class TestMeshStudy:
+    def test_three_pairs_measured(self):
+        from repro.experiments.extensions import run_mesh_study
+
+        rows = run_mesh_study(n_packets_per_pair=3000)
+        assert len(rows) == 3
+        for pair, flows, seg2, e2e in rows:
+            assert flows > 20, pair
+            assert seg2 == seg2 and seg2 < 1.0  # not NaN, sane
+
+
+class TestAqmComparison:
+    def test_disciplines_compared(self, tiny_config):
+        from repro.experiments.extensions import run_aqm_comparison
+
+        rows = run_aqm_comparison(tiny_config)
+        names = [r[0] for r in rows]
+        assert names == ["tail-drop", "RED"]
+        for name, loss, median, ref_drops in rows:
+            assert 0.0 <= loss < 0.5
+            assert median < 2.0

@@ -1,0 +1,110 @@
+"""Tests for streaming per-flow statistics (Welford accumulators)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.flowstats import FlowStatsTable, StreamingStats
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestStreamingStats:
+    def test_empty(self):
+        s = StreamingStats()
+        assert s.count == 0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = StreamingStats()
+        s.add(3.0)
+        assert s.mean == 3.0
+        assert s.std == 0.0
+        assert s.min == s.max == 3.0
+
+    def test_matches_numpy(self):
+        values = [1.5, 2.5, -3.0, 4.0, 0.0, 10.0]
+        s = StreamingStats()
+        for v in values:
+            s.add(v)
+        assert s.mean == pytest.approx(np.mean(values))
+        assert s.variance == pytest.approx(np.var(values))
+        assert s.std == pytest.approx(np.std(values))
+
+    def test_min_max(self):
+        s = StreamingStats()
+        for v in (3.0, -1.0, 7.0):
+            s.add(v)
+        assert s.min == -1.0 and s.max == 7.0
+
+    @given(st.lists(floats, min_size=1, max_size=100))
+    def test_mean_var_property(self, values):
+        s = StreamingStats()
+        for v in values:
+            s.add(v)
+        assert s.count == len(values)
+        assert s.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(values), rel=1e-6, abs=1e-6)
+
+    @given(st.lists(floats, min_size=0, max_size=50),
+           st.lists(floats, min_size=0, max_size=50))
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb, sc = StreamingStats(), StreamingStats(), StreamingStats()
+        for v in a:
+            sa.add(v)
+            sc.add(v)
+        for v in b:
+            sb.add(v)
+            sc.add(v)
+        sa.merge(sb)
+        assert sa.count == sc.count
+        if sc.count:
+            assert sa.mean == pytest.approx(sc.mean, rel=1e-9, abs=1e-6)
+            assert sa.variance == pytest.approx(sc.variance, rel=1e-6, abs=1e-6)
+            assert sa.min == sc.min and sa.max == sc.max
+
+    def test_merge_into_empty(self):
+        a, b = StreamingStats(), StreamingStats()
+        b.add(2.0)
+        b.add(4.0)
+        a.merge(b)
+        assert a.count == 2 and a.mean == 3.0
+
+
+KEY1 = (1, 2, 3, 4, 6)
+KEY2 = (5, 6, 7, 8, 6)
+
+
+class TestFlowStatsTable:
+    def test_add_and_get(self):
+        t = FlowStatsTable()
+        t.add(KEY1, 1.0)
+        t.add(KEY1, 3.0)
+        assert t.get(KEY1).mean == 2.0
+        assert t.get(KEY2) is None
+        assert KEY1 in t and KEY2 not in t
+
+    def test_len_and_totals(self):
+        t = FlowStatsTable()
+        t.add(KEY1, 1.0)
+        t.add(KEY2, 1.0)
+        t.add(KEY2, 2.0)
+        assert len(t) == 2
+        assert t.total_samples() == 3
+
+    def test_merge_tables(self):
+        a, b = FlowStatsTable(), FlowStatsTable()
+        a.add(KEY1, 1.0)
+        b.add(KEY1, 3.0)
+        b.add(KEY2, 5.0)
+        a.merge(b)
+        assert a.get(KEY1).count == 2
+        assert a.get(KEY1).mean == 2.0
+        assert a.get(KEY2).mean == 5.0
+
+    def test_items_iteration(self):
+        t = FlowStatsTable()
+        t.add(KEY1, 1.0)
+        assert dict(t.items())[KEY1].count == 1

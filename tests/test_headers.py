@@ -1,0 +1,44 @@
+"""Tests for ToS mark encoding (RLIR packet-marking support)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.headers import MAX_MARK, MARK_UNSET, clear_mark, decode_mark, encode_mark
+
+
+class TestMarks:
+    def test_roundtrip(self):
+        assert decode_mark(encode_mark(0, 5)) == 5
+
+    def test_unmarked_reads_unset(self):
+        assert decode_mark(0) == MARK_UNSET
+
+    def test_preserves_ecn_bits(self):
+        tos = 0b11  # ECN bits set
+        marked = encode_mark(tos, 7)
+        assert marked & 0b11 == 0b11
+        assert decode_mark(marked) == 7
+
+    def test_clear_mark(self):
+        marked = encode_mark(0b01, 9)
+        assert clear_mark(marked) == 0b01
+        assert decode_mark(clear_mark(marked)) == MARK_UNSET
+
+    def test_mark_zero_rejected(self):
+        with pytest.raises(ValueError):
+            encode_mark(0, 0)
+
+    def test_mark_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            encode_mark(0, MAX_MARK + 1)
+
+    def test_remark_overwrites(self):
+        tos = encode_mark(0, 3)
+        assert decode_mark(encode_mark(tos, 12)) == 12
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=MAX_MARK))
+    def test_roundtrip_property(self, tos, mark):
+        marked = encode_mark(tos, mark)
+        assert 0 <= marked <= 255
+        assert decode_mark(marked) == mark
+        assert marked & 0b11 == tos & 0b11

@@ -1,0 +1,93 @@
+"""Tests for injection policies and sender-side utilization estimation."""
+
+import pytest
+
+from repro.core.injection import AdaptiveInjection, StaticInjection
+from repro.core.utilization import EwmaUtilization
+
+
+class TestStaticInjection:
+    def test_fixed_gap(self):
+        p = StaticInjection(100)
+        assert p.gap(0.0) == 100
+        assert p.gap(1.0) == 100
+        assert not p.is_adaptive
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            StaticInjection(0)
+
+
+class TestAdaptiveInjection:
+    def test_paper_operating_point(self):
+        """~22% sender-link utilization triggers the highest rate, 1-and-10."""
+        p = AdaptiveInjection()
+        assert p.gap(0.22) == 10
+
+    def test_saturated_link_lowest_rate(self):
+        p = AdaptiveInjection()
+        assert p.gap(0.99) == 300
+
+    def test_monotone_decreasing_rate(self):
+        p = AdaptiveInjection()
+        gaps = [p.gap(u / 100) for u in range(0, 101, 5)]
+        assert gaps == sorted(gaps)
+        assert p.is_adaptive
+
+    def test_linear_midpoint(self):
+        p = AdaptiveInjection(n_min=10, n_max=300, util_low=0.3, util_high=0.95)
+        mid = p.gap((0.3 + 0.95) / 2)
+        assert mid == pytest.approx((10 + 300) / 2, abs=1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveInjection(n_min=0)
+        with pytest.raises(ValueError):
+            AdaptiveInjection(n_min=100, n_max=10)
+        with pytest.raises(ValueError):
+            AdaptiveInjection(util_low=0.9, util_high=0.5)
+
+
+class TestEwmaUtilization:
+    def test_initial_estimate(self):
+        u = EwmaUtilization(8e6, window=0.01, initial=0.5)
+        assert u.estimate == 0.5
+
+    def test_full_window_reads_one(self):
+        # 1 MB/s link, 10 ms window = 10 kB capacity per window
+        u = EwmaUtilization(8e6, window=0.01, alpha=1.0)
+        u.observe(0.000, 10_000)
+        u.observe(0.011, 1)  # crossing the boundary folds the window
+        assert u.estimate == pytest.approx(1.0)
+
+    def test_half_load(self):
+        u = EwmaUtilization(8e6, window=0.01, alpha=1.0)
+        u.observe(0.000, 5_000)
+        u.observe(0.011, 1)
+        assert u.estimate == pytest.approx(0.5)
+
+    def test_idle_windows_decay(self):
+        u = EwmaUtilization(8e6, window=0.01, alpha=1.0)
+        u.observe(0.000, 10_000)
+        u.observe(0.051, 1)  # 4 empty windows folded as zeros
+        assert u.estimate == pytest.approx(0.0)
+
+    def test_ewma_smoothing(self):
+        u = EwmaUtilization(8e6, window=0.01, alpha=0.5, initial=0.0)
+        u.observe(0.000, 10_000)
+        u.observe(0.011, 1)
+        assert u.estimate == pytest.approx(0.5)  # 0 + 0.5*(1.0-0)
+
+    def test_sample_capped_at_one(self):
+        u = EwmaUtilization(8e6, window=0.01, alpha=1.0)
+        u.observe(0.000, 50_000)  # 5x the window capacity
+        u.observe(0.011, 1)
+        assert u.estimate == pytest.approx(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EwmaUtilization(0)
+        with pytest.raises(ValueError):
+            EwmaUtilization(1e6, window=0)
+        with pytest.raises(ValueError):
+            EwmaUtilization(1e6, alpha=0.0)

@@ -1,0 +1,157 @@
+"""Tests for the interpolation core — the heart of RLI."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.interpolation import (
+    ESTIMATORS,
+    InterpolationBuffer,
+    linear_interpolate,
+)
+
+KEY = (1, 2, 3, 4, 6)
+
+times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestLinearInterpolate:
+    def test_midpoint(self):
+        assert linear_interpolate(0.0, 10.0, 1.0, 20.0, 0.5) == pytest.approx(15.0)
+
+    def test_endpoints(self):
+        assert linear_interpolate(0.0, 10.0, 1.0, 20.0, 0.0) == pytest.approx(10.0)
+        assert linear_interpolate(0.0, 10.0, 1.0, 20.0, 1.0) == pytest.approx(20.0)
+
+    def test_degenerate_interval_averages(self):
+        assert linear_interpolate(1.0, 10.0, 1.0, 20.0, 1.0) == pytest.approx(15.0)
+
+    @given(times, delays, times, delays, st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_by_endpoints(self, t0, d0, span, d1, frac):
+        t1 = t0 + span + 1e-6
+        t = t0 + frac * (t1 - t0)
+        est = linear_interpolate(t0, d0, t1, d1, t)
+        lo, hi = min(d0, d1), max(d0, d1)
+        assert lo - 1e-9 <= est <= hi + 1e-9
+
+
+class TestBuffer:
+    def test_exact_on_linear_delay_profile(self):
+        """If true delay is a linear function of arrival time, linear
+        interpolation is exact — the delay-locality ideal."""
+        buf = InterpolationBuffer("linear")
+        line = lambda t: 5.0 + 2.0 * t
+        assert buf.add_reference(0.0, line(0.0)) == []
+        for t in (0.1, 0.4, 0.7):
+            buf.add_regular(t, KEY, line(t))
+        out = buf.add_reference(1.0, line(1.0))
+        assert len(out) == 3
+        for e in out:
+            assert e.estimated == pytest.approx(e.true_delay)
+            assert e.abs_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_packets_before_first_reference_one_sided(self):
+        buf = InterpolationBuffer()
+        buf.add_regular(0.1, KEY, 1.0)
+        buf.add_regular(0.2, KEY, 1.0)
+        out = buf.add_reference(0.5, 7.0)
+        assert [e.estimated for e in out] == [7.0, 7.0]
+
+    def test_flush_uses_last_reference(self):
+        buf = InterpolationBuffer()
+        buf.add_reference(0.0, 3.0)
+        buf.add_regular(0.5, KEY, 1.0)
+        out = buf.flush()
+        assert [e.estimated for e in out] == [3.0]
+        assert buf.pending_count == 0
+
+    def test_flush_without_any_reference_discards(self):
+        buf = InterpolationBuffer()
+        buf.add_regular(0.5, KEY, 1.0)
+        assert buf.unestimated == 1
+        assert buf.flush() == []
+
+    def test_counts(self):
+        buf = InterpolationBuffer()
+        buf.add_reference(0.0, 1.0)
+        buf.add_regular(0.1, KEY, 1.0)
+        buf.add_reference(0.2, 1.0)
+        assert buf.references_seen == 2
+        assert buf.regulars_seen == 1
+
+    def test_estimates_carry_key_and_truth(self):
+        buf = InterpolationBuffer()
+        buf.add_reference(0.0, 1.0)
+        buf.add_regular(0.5, KEY, 42.0)
+        (e,) = buf.add_reference(1.0, 2.0)
+        assert e.key == KEY
+        assert e.true_delay == 42.0
+        assert e.arrival == 0.5
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError):
+            InterpolationBuffer("spline")
+
+    def test_previous_estimator(self):
+        buf = InterpolationBuffer("previous")
+        buf.add_reference(0.0, 10.0)
+        buf.add_regular(0.9, KEY, 0.0)
+        (e,) = buf.add_reference(1.0, 20.0)
+        assert e.estimated == 10.0
+
+    def test_nearest_estimator(self):
+        buf = InterpolationBuffer("nearest")
+        buf.add_reference(0.0, 10.0)
+        buf.add_regular(0.2, KEY, 0.0)
+        buf.add_regular(0.9, KEY, 0.0)
+        near_prev, near_next = buf.add_reference(1.0, 20.0)
+        assert near_prev.estimated == 10.0
+        assert near_next.estimated == 20.0
+
+    def test_all_estimators_registered(self):
+        assert set(ESTIMATORS) == {"linear", "previous", "nearest"}
+
+    @given(
+        st.lists(st.tuples(times, delays), min_size=2, max_size=20),
+        st.lists(times, min_size=1, max_size=50),
+    )
+    def test_every_regular_estimated_exactly_once(self, refs, regulars):
+        """No packet is lost or double-counted by the buffer machinery."""
+        refs = sorted(set(refs), key=lambda r: r[0])
+        if len(refs) < 2:
+            return
+        buf = InterpolationBuffer()
+        events = [("ref", t, d) for t, d in refs] + [("reg", t, None) for t in regulars]
+        events.sort(key=lambda e: e[1])
+        emitted = 0
+        for kind, t, d in events:
+            if kind == "ref":
+                emitted += len(buf.add_reference(t, d))
+            else:
+                buf.add_regular(t, KEY, 0.0)
+        emitted += len(buf.flush())
+        assert emitted == len(regulars)
+
+    @given(
+        st.lists(st.tuples(times, delays), min_size=2, max_size=20),
+        st.lists(times, min_size=1, max_size=50),
+    )
+    def test_estimates_bounded_by_neighbor_references(self, refs, regulars):
+        """Every linear estimate lies within [min, max] of all ref delays."""
+        refs = sorted(set(refs), key=lambda r: r[0])
+        if len(refs) < 2:
+            return
+        lo = min(d for _, d in refs)
+        hi = max(d for _, d in refs)
+        buf = InterpolationBuffer()
+        events = [("ref", t, d) for t, d in refs] + [("reg", t, None) for t in regulars]
+        events.sort(key=lambda e: e[1])
+        estimates = []
+        for kind, t, d in events:
+            if kind == "ref":
+                estimates.extend(buf.add_reference(t, d))
+            else:
+                buf.add_regular(t, KEY, 0.0)
+        estimates.extend(buf.flush())
+        for e in estimates:
+            assert lo - 1e-9 <= e.estimated <= hi + 1e-9

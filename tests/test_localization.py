@@ -1,0 +1,82 @@
+"""Tests for segment-level anomaly localization."""
+
+import pytest
+
+from repro.core.flowstats import FlowStatsTable
+from repro.core.localization import flow_breakdown, localize
+
+KEY = (1, 2, 3, 4, 6)
+
+
+def table(mean, n_flows=3, samples_per_flow=10):
+    t = FlowStatsTable()
+    for f in range(n_flows):
+        key = (f, 2, 3, 4, 6)
+        for s in range(samples_per_flow):
+            t.add(key, mean * (1 + 0.01 * (s % 3)))
+    return t
+
+
+class TestLocalize:
+    def test_flags_inflated_segment(self):
+        report = localize([
+            ("seg-a", table(20e-6)),
+            ("seg-b", table(500e-6)),
+            ("seg-c", table(22e-6)),
+        ])
+        assert report.culprit == "seg-b"
+        assert report.anomalous == ["seg-b"]
+
+    def test_healthy_segments_not_flagged(self):
+        report = localize([
+            ("seg-a", table(20e-6)),
+            ("seg-b", table(25e-6)),
+            ("seg-c", table(22e-6)),
+        ])
+        assert report.culprit is None
+
+    def test_floor_suppresses_nanosecond_noise(self):
+        """On an idle fabric a 10x ratio of tiny delays is not an anomaly."""
+        report = localize([
+            ("seg-a", table(10e-9)),
+            ("seg-b", table(200e-9)),
+        ])
+        assert report.culprit is None
+
+    def test_min_samples_guard(self):
+        report = localize([
+            ("seg-a", table(20e-6)),
+            ("thin", table(900e-6, n_flows=1, samples_per_flow=2)),
+        ], min_samples=10)
+        assert "thin" not in report.anomalous
+
+    def test_summaries_sorted_by_mean(self):
+        report = localize([
+            ("low", table(10e-6)),
+            ("high", table(100e-6)),
+            ("mid", table(50e-6)),
+        ])
+        assert [s.name for s in report.summaries] == ["high", "mid", "low"]
+
+    def test_requires_segments(self):
+        with pytest.raises(ValueError):
+            localize([])
+
+    def test_multiple_anomalies_ranked(self):
+        report = localize([
+            ("a", table(10e-6)),
+            ("b", table(11e-6)),
+            ("c", table(12e-6)),
+            ("x", table(500e-6)),
+            ("y", table(900e-6)),
+        ])
+        assert report.anomalous == ["y", "x"]
+
+
+class TestFlowBreakdown:
+    def test_per_segment_stats(self):
+        t1, t2 = FlowStatsTable(), FlowStatsTable()
+        t1.add(KEY, 10e-6)
+        breakdown = flow_breakdown(KEY, [("seg1", t1), ("seg2", t2)])
+        assert breakdown["seg1"].mean == pytest.approx(10e-6)
+        assert breakdown["seg2"] is None

@@ -1,0 +1,95 @@
+"""Tests for placement formulas and the concrete planner (paper §3.1)."""
+
+import pytest
+
+from repro.core.placement import (
+    RlirPlacement,
+    instances_all_tor_pairs_enumerated,
+    instances_all_tor_pairs_paper,
+    instances_full_deployment,
+    instances_interface_pair,
+    instances_tor_pair,
+)
+from repro.sim.topology import FatTree
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("k,expected", [(4, 6), (8, 10), (48, 50)])
+    def test_interface_pair(self, k, expected):
+        assert instances_interface_pair(k) == expected  # k + 2
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_tor_pair_formula(self, k):
+        assert instances_tor_pair(k) == k * (k + 2) // 2
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_all_tor_pairs_paper_formula(self, k):
+        assert instances_all_tor_pairs_paper(k) == (k // 2) ** 2 * (k + 1)
+
+    @pytest.mark.parametrize("k", [4, 8, 16])
+    def test_enumerated_is_k_cubed_over_two(self, k):
+        assert instances_all_tor_pairs_enumerated(k) == k**3 // 2
+
+    def test_full_deployment_k4_order(self):
+        """Full deployment is Theta(k^4): ratio to k^4 stabilizes at 5/4."""
+        big = instances_full_deployment(48)
+        assert big / 48**4 == pytest.approx(1.25, rel=0.05)
+
+    def test_partial_far_cheaper_than_full(self):
+        for k in (8, 16, 48):
+            assert instances_all_tor_pairs_enumerated(k) < 0.2 * instances_full_deployment(k)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            instances_interface_pair(5)
+
+
+class TestPlanner:
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_interface_pair_count_matches_formula(self, k):
+        planner = RlirPlacement(FatTree(k))
+        instances = planner.interface_pair((0, 0), 0, (1, 0))
+        assert len(instances) == instances_interface_pair(k)
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_tor_pair_count_matches_formula(self, k):
+        planner = RlirPlacement(FatTree(k))
+        instances = planner.tor_pair((0, 0), (1, 1))
+        assert len(instances) == instances_tor_pair(k)
+
+    @pytest.mark.parametrize("k", [4, 8])
+    def test_all_tor_pairs_count_matches_enumerated_formula(self, k):
+        planner = RlirPlacement(FatTree(k))
+        assert len(planner.all_tor_pairs()) == instances_all_tor_pairs_enumerated(k)
+
+    def test_interface_pair_roles(self, fattree4):
+        planner = RlirPlacement(fattree4)
+        instances = planner.interface_pair((0, 1), 1, (2, 0))
+        roles = [i.role for i in instances]
+        assert roles.count("tor-sender") == 1
+        assert roles.count("tor-receiver") == 1
+        assert roles.count("core-ingress") == 2  # k/2 cores
+        assert roles.count("core-egress") == 2
+
+    def test_interface_pair_uses_only_one_core_group(self, fattree4):
+        planner = RlirPlacement(fattree4)
+        instances = planner.interface_pair((0, 0), 1, (1, 0))
+        core_names = {i.switch_name for i in instances if "core" in i.role}
+        # uplink 1 -> aggregation switch 1 -> core group 1 only
+        assert core_names == {"core(1,0)", "core(1,1)"}
+
+    def test_instances_are_distinct_interfaces(self, fattree8):
+        planner = RlirPlacement(fattree8)
+        instances = planner.tor_pair((0, 0), (3, 1))
+        assert len({(i.switch_name, i.port_index) for i in instances}) == len(instances)
+
+    def test_same_tor_rejected(self, fattree4):
+        planner = RlirPlacement(fattree4)
+        with pytest.raises(ValueError):
+            planner.tor_pair((0, 0), (0, 0))
+        with pytest.raises(ValueError):
+            planner.interface_pair((0, 0), 0, (0, 0))
+
+    def test_bad_uplink_rejected(self, fattree4):
+        with pytest.raises(ValueError):
+            RlirPlacement(fattree4).interface_pair((0, 0), 5, (1, 0))

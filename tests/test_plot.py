@@ -1,0 +1,61 @@
+"""Tests for terminal plotting."""
+
+import pytest
+
+from repro.analysis.cdf import Ecdf
+from repro.analysis.plot import ascii_cdf, ascii_series
+
+
+class TestAsciiCdf:
+    def cdfs(self):
+        return {
+            "fast": Ecdf([0.01 * (i + 1) for i in range(100)]),
+            "slow": Ecdf([0.1 * (i + 1) for i in range(100)]),
+        }
+
+    def test_contains_legend_and_axis(self):
+        out = ascii_cdf(self.cdfs())
+        assert "* = fast" in out
+        assert "o = slow" in out
+        assert "relative error (log)" in out
+
+    def test_grid_dimensions(self):
+        out = ascii_cdf(self.cdfs(), width=40, height=10)
+        plot_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_lines) == 10
+        for line in plot_lines:
+            assert len(line.split("|", 1)[1]) == 40
+
+    def test_dominance_visible(self):
+        """The stochastically-smaller series sits above the other: at any
+        x, its plotted fraction is >= the slower one's."""
+        cdfs = self.cdfs()
+        for x in (0.05, 0.5, 1.0):
+            assert cdfs["fast"].fraction_below(x) >= cdfs["slow"].fraction_below(x)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf(self.cdfs(), width=2, height=2)
+
+
+class TestAsciiSeries:
+    def test_renders_points_and_legend(self):
+        out = ascii_series({"a": [(0.8, 0.0), (0.9, 1e-4)],
+                            "b": [(0.8, 1e-4), (0.9, 5e-4)]},
+                           x_label="util")
+        assert "* = a" in out and "o = b" in out
+        assert "util" in out
+
+    def test_degenerate_ranges_handled(self):
+        out = ascii_series({"flat": [(1.0, 2.0), (1.0, 2.0)]})
+        assert "flat" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series({})
+        with pytest.raises(ValueError):
+            ascii_series({"a": []})

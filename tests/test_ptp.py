@@ -1,0 +1,80 @@
+"""Tests for the IEEE 1588-style synchronization substrate."""
+
+import pytest
+
+from repro.sim.ptp import PtpSession
+
+
+class TestExchange:
+    def test_symmetric_path_exact(self):
+        session = PtpSession(true_offset=50e-6, base_delay_ms=5e-6,
+                             base_delay_sm=5e-6)
+        exchange = session.exchange(0.0)
+        assert exchange.offset_estimate == pytest.approx(50e-6)
+
+    def test_asymmetry_error_floor(self):
+        """offset error = (d_ms - d_sm)/2 — the classic PTP limit."""
+        session = PtpSession(true_offset=50e-6, base_delay_ms=9e-6,
+                             base_delay_sm=3e-6)
+        exchange = session.exchange(0.0)
+        assert exchange.offset_estimate - 50e-6 == pytest.approx(3e-6)
+
+    def test_round_trip_excludes_offset(self):
+        for offset in (0.0, 1e-3, -1e-3):
+            session = PtpSession(true_offset=offset, base_delay_ms=5e-6,
+                                 base_delay_sm=7e-6)
+            assert session.exchange(0.0).round_trip == pytest.approx(12e-6)
+
+
+class TestSynchronize:
+    def test_clean_path_recovers_offset(self):
+        result = PtpSession(true_offset=123e-6).synchronize()
+        assert result.residual_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_min_filter_beats_single_exchange_under_jitter(self):
+        noisy = PtpSession(true_offset=100e-6, queue_jitter=50e-6, seed=1)
+        single = abs(noisy.exchange(0.0).offset_estimate - 100e-6)
+        filtered = abs(PtpSession(true_offset=100e-6, queue_jitter=50e-6,
+                                  seed=1).synchronize(rounds=64).residual_error)
+        # averaging min-RTT exchanges suppresses one-sided queueing noise
+        assert filtered < max(single, 20e-6)
+
+    def test_corrected_clock_offset_is_negated_residual(self):
+        session = PtpSession(true_offset=100e-6, base_delay_ms=8e-6,
+                             base_delay_sm=2e-6)
+        result = session.synchronize(rounds=4)
+        clock = result.corrected_clock()
+        assert clock.now(1.0) - 1.0 == pytest.approx(-result.residual_error)
+
+    def test_corrected_clock_feeds_receiver(self):
+        """The residual sync error shows up as a bias in RLI delay samples
+        — wiring PTP output into the measurement plane."""
+        from repro.core.demux import SingleSenderDemux
+        from repro.core.receiver import RliReceiver
+        from repro.net.packet import Packet, PacketKind
+
+        result = PtpSession(true_offset=1e-3, base_delay_ms=30e-6,
+                            base_delay_sm=10e-6).synchronize(rounds=4)
+        receiver = RliReceiver(SingleSenderDemux(1), clock=result.corrected_clock())
+        ref = Packet(src=0, dst=0, kind=PacketKind.REFERENCE, sender_id=1,
+                     ref_timestamp=0.0)
+        receiver.observe(ref, 100e-6)  # true delay 100us
+        buffer = receiver._buffers[1]
+        measured_delay = buffer._last_ref[1]
+        # bias = -residual = -(d_ms-d_sm)/2 = -10us
+        assert measured_delay == pytest.approx(100e-6 - 10e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PtpSession(0.0, base_delay_ms=-1e-6)
+        with pytest.raises(ValueError):
+            PtpSession(0.0, queue_jitter=-1.0)
+        with pytest.raises(ValueError):
+            PtpSession(0.0).synchronize(rounds=0)
+        with pytest.raises(ValueError):
+            PtpSession(0.0).synchronize(keep_best=0)
+
+    def test_seeded_reproducible(self):
+        a = PtpSession(1e-6, queue_jitter=1e-5, seed=3).synchronize()
+        b = PtpSession(1e-6, queue_jitter=1e-5, seed=3).synchronize()
+        assert a.estimated_offset == b.estimated_offset

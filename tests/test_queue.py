@@ -1,0 +1,152 @@
+"""Tests for the analytic FIFO queue — the simulator's core primitive."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import Packet
+from repro.sim.queue import FifoQueue
+
+
+def pkt(size=1000, ts=0.0):
+    return Packet(src=1, dst=2, size=size, ts=ts)
+
+
+RATE = 8e6  # 1e6 bytes/s -> 1000-byte packet serializes in 1 ms
+
+
+class TestBasics:
+    def test_idle_packet_gets_transmission_time_only(self):
+        q = FifoQueue(RATE)
+        dep = q.offer(pkt(1000), 1.0)
+        assert dep == pytest.approx(1.0 + 1e-3)
+
+    def test_processing_delay_added(self):
+        q = FifoQueue(RATE, proc_delay=5e-4)
+        dep = q.offer(pkt(1000), 1.0)
+        assert dep == pytest.approx(1.0 + 5e-4 + 1e-3)
+
+    def test_back_to_back_packets_queue(self):
+        q = FifoQueue(RATE)
+        d1 = q.offer(pkt(1000), 0.0)
+        d2 = q.offer(pkt(1000), 0.0)
+        assert d1 == pytest.approx(1e-3)
+        assert d2 == pytest.approx(2e-3)
+
+    def test_idle_gap_resets_queue(self):
+        q = FifoQueue(RATE)
+        q.offer(pkt(1000), 0.0)
+        dep = q.offer(pkt(1000), 1.0)  # long after the first drained
+        assert dep == pytest.approx(1.0 + 1e-3)
+
+    def test_backlog_accounting(self):
+        q = FifoQueue(RATE)
+        q.offer(pkt(1000), 0.0)
+        q.offer(pkt(1000), 0.0)
+        # at t=0.5 ms, 0.5 ms of service remains on pkt1 plus all of pkt2
+        assert q.backlog_bytes(0.5e-3) == pytest.approx(1500.0)
+        assert q.backlog_bytes(10.0) == 0.0
+
+    def test_transmission_time(self):
+        q = FifoQueue(RATE)
+        assert q.transmission_time(500) == pytest.approx(0.5e-3)
+
+
+class TestDrops:
+    def test_drop_when_buffer_full(self):
+        q = FifoQueue(RATE, buffer_bytes=1500)
+        assert q.offer(pkt(1000), 0.0) is not None
+        p = pkt(1000)
+        assert q.offer(p, 0.0) is None  # backlog 1000 + 1000 > 1500
+        assert p.dropped
+        assert q.stats.dropped == 1
+
+    def test_drop_does_not_consume_capacity(self):
+        q = FifoQueue(RATE, buffer_bytes=1500)
+        q.offer(pkt(1000), 0.0)
+        q.offer(pkt(1000), 0.0)  # dropped
+        dep = q.offer(pkt(500), 1e-3)  # first packet done; fits now
+        assert dep == pytest.approx(1e-3 + 0.5e-3)
+
+    def test_no_buffer_means_no_drops(self):
+        q = FifoQueue(RATE, buffer_bytes=None)
+        for _ in range(1000):
+            assert q.offer(pkt(1500), 0.0) is not None
+        assert q.stats.dropped == 0
+
+    def test_loss_rate(self):
+        q = FifoQueue(RATE, buffer_bytes=1000)
+        q.offer(pkt(1000), 0.0)
+        q.offer(pkt(1000), 0.0)
+        assert q.stats.loss_rate == pytest.approx(0.5)
+
+
+class TestStatsAndValidation:
+    def test_utilization(self):
+        q = FifoQueue(RATE)
+        for i in range(10):
+            q.offer(pkt(1000), i * 0.01)
+        # 10 kB over 0.1 s at 1 MB/s = 10%
+        assert q.utilization(0.1) == pytest.approx(0.1)
+
+    def test_mean_and_max_delay(self):
+        q = FifoQueue(RATE)
+        q.offer(pkt(1000), 0.0)
+        q.offer(pkt(1000), 0.0)
+        assert q.stats.mean_delay == pytest.approx(1.5e-3)
+        assert q.stats.max_delay == pytest.approx(2e-3)
+
+    def test_reset(self):
+        q = FifoQueue(RATE)
+        q.offer(pkt(1000), 0.0)
+        q.reset()
+        assert q.stats.arrivals == 0
+        assert q.offer(pkt(1000), 0.0) == pytest.approx(1e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(rate_bps=0), dict(rate_bps=-1), dict(rate_bps=1, buffer_bytes=0),
+         dict(rate_bps=1, proc_delay=-1e-9)],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            FifoQueue(**kwargs)
+
+    def test_utilization_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            FifoQueue(RATE).utilization(0.0)
+
+
+class TestFifoProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=0.01),  # inter-arrival gap
+                st.integers(min_value=40, max_value=1500),  # size
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_invariants(self, arrivals):
+        """FIFO order, no negative delays, work conservation, drop rule."""
+        q = FifoQueue(RATE, buffer_bytes=8000)
+        t = 0.0
+        last_dep = 0.0
+        accepted_bytes = 0
+        for gap, size in arrivals:
+            t += gap
+            backlog_before = q.backlog_bytes(t)
+            dep = q.offer(pkt(size), t)
+            if dep is None:
+                # tail drop only when the packet would overflow the buffer
+                assert backlog_before + size > 8000
+                continue
+            accepted_bytes += size
+            assert dep >= t  # causality
+            assert dep >= last_dep  # FIFO: departures non-decreasing
+            # service takes at least the transmission time
+            assert dep - t >= size / q.rate_Bps - 1e-12
+            last_dep = dep
+        # work conservation: total busy time equals accepted bytes / rate
+        assert q.stats.bytes_accepted == accepted_bytes

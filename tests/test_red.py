@@ -1,0 +1,119 @@
+"""Tests for the RED queue variant and queueing-theory validation of the
+analytic FIFO (substrate credibility checks)."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import Packet
+from repro.sim.queue import FifoQueue
+from repro.sim.red import RedQueue
+
+RATE = 8e6  # 1 MB/s
+
+
+def pkt(size=1000):
+    return Packet(src=1, dst=2, size=size)
+
+
+class TestRedQueue:
+    def make(self, **kw):
+        defaults = dict(rate_bps=RATE, buffer_bytes=200_000,
+                        min_th_bytes=5_000, max_th_bytes=20_000,
+                        max_p=0.5, seed=1)
+        defaults.update(kw)
+        return RedQueue(**defaults)
+
+    def test_no_early_drops_below_min_threshold(self):
+        q = self.make()
+        for i in range(50):
+            assert q.offer(pkt(), i * 2e-3) is not None  # queue stays short
+        assert q.early_drops == 0
+
+    def test_early_drops_under_sustained_backlog(self):
+        q = self.make()
+        drops = 0
+        for _ in range(200):
+            if q.offer(pkt(), 0.0) is None:
+                drops += 1
+        assert q.early_drops > 0
+        assert drops == q.stats.dropped
+
+    def test_always_drops_above_max_threshold(self):
+        q = self.make(max_p=0.01)
+        # build average backlog far past max_th, then every arrival dies
+        for _ in range(400):
+            q.offer(pkt(), 0.0)
+        assert q.avg_backlog > q.max_th
+        assert q.offer(pkt(), 0.0) is None
+
+    def test_red_keeps_queues_shorter_than_tail_drop(self):
+        """The point of AQM: under the same sustained load, early drops keep
+        the standing queue (and hence delay) below tail-drop's full-buffer
+        operation."""
+        rng = np.random.default_rng(3)
+        gaps = rng.exponential(0.8e-3, 3000)  # Poisson overload ~1.25x
+
+        def mean_delay(queue):
+            t = 0.0
+            for gap in gaps:
+                t += float(gap)
+                queue.offer(pkt(), t)
+            return queue.stats.mean_delay
+
+        tail = FifoQueue(RATE, buffer_bytes=20_000)
+        red = self.make(buffer_bytes=20_000, min_th_bytes=4_000,
+                        max_th_bytes=12_000, max_p=0.4)
+        assert mean_delay(red) < mean_delay(tail)
+
+    def test_seeded_deterministic(self):
+        def run(seed):
+            q = self.make(seed=seed)
+            return [q.offer(pkt(), 0.0) is None for _ in range(300)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_reset_clears_red_state(self):
+        q = self.make()
+        for _ in range(300):
+            q.offer(pkt(), 0.0)
+        q.reset()
+        assert q.avg_backlog == 0.0
+        assert q.early_drops == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(min_th_bytes=20_000, max_th_bytes=5_000)
+        with pytest.raises(ValueError):
+            self.make(max_p=0.0)
+        with pytest.raises(ValueError):
+            self.make(ewma_weight=2.0)
+
+
+class TestQueueTheoryValidation:
+    def test_md1_mean_wait(self):
+        """Poisson arrivals + deterministic service: the analytic FIFO's
+        mean waiting time matches the M/D/1 formula W = rho*S/(2(1-rho))."""
+        rng = np.random.default_rng(0)
+        size = 1000
+        service = size / (RATE / 8.0)  # 1 ms
+        for rho in (0.3, 0.6, 0.8):
+            q = FifoQueue(RATE, buffer_bytes=None)
+            t = 0.0
+            waits = []
+            for _ in range(60_000):
+                t += float(rng.exponential(service / rho))
+                dep = q.offer(pkt(size), t)
+                waits.append(dep - t - service)  # waiting time only
+            expected = rho * service / (2 * (1 - rho))
+            assert np.mean(waits) == pytest.approx(expected, rel=0.08), rho
+
+    def test_utilization_matches_offered_load(self):
+        rng = np.random.default_rng(1)
+        q = FifoQueue(RATE, buffer_bytes=None)
+        t = 0.0
+        service = 1e-3
+        for _ in range(20_000):
+            t += float(rng.exponential(service / 0.5))
+            q.offer(pkt(), t)
+        assert q.utilization(t) == pytest.approx(0.5, rel=0.05)

@@ -1,0 +1,159 @@
+"""Tests for the output-queued switch: routing, ECMP, marking, taps."""
+
+import pytest
+
+from repro.net.addressing import Prefix, ip_to_int
+from repro.net.headers import decode_mark
+from repro.net.packet import Packet
+from repro.sim.ecmp import EcmpHasher
+from repro.sim.switch import EcmpGroup, LOCAL_DELIVERY, Switch
+
+
+def make_switch(name="sw", mark=0):
+    return Switch(name, 0, ip_to_int("10.0.0.1"), EcmpHasher(seed=1), mark=mark)
+
+
+def pkt(dst, src="10.5.0.1", sport=1, dport=2):
+    return Packet(src=ip_to_int(src), dst=ip_to_int(dst), sport=sport, dport=dport, size=100)
+
+
+class TestRouting:
+    def test_single_port_route(self):
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix.parse("10.1.0.0/16"), 0)
+        assert sw.route_port(pkt("10.1.2.3")) == 0
+
+    def test_longest_prefix_wins(self):
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix.parse("10.0.0.0/8"), 0)
+        sw.add_route(Prefix.parse("10.1.0.0/16"), 1)
+        assert sw.route_port(pkt("10.1.2.3")) == 1
+        assert sw.route_port(pkt("10.2.2.3")) == 0
+
+    def test_own_address_delivers_locally(self):
+        sw = make_switch()
+        assert sw.route_port(pkt("10.0.0.1")) is LOCAL_DELIVERY
+
+    def test_no_route_returns_none(self):
+        sw = make_switch()
+        assert sw.route_port(pkt("99.0.0.1")) is None
+
+    def test_ecmp_group_resolved_by_hash(self):
+        sw = make_switch()
+        for _ in range(4):
+            sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), EcmpGroup([0, 1, 2, 3]))
+        p = pkt("11.0.0.1")
+        expected = sw.hasher.choose(p.flow_key, 4)
+        assert sw.route_port(p) == expected
+
+    def test_ecmp_group_requires_ports(self):
+        with pytest.raises(ValueError):
+            EcmpGroup([])
+
+
+class TestReceive:
+    def test_forwarding_returns_port_and_departure(self):
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), 0)
+        result = sw.receive(pkt("11.0.0.1"), 1.0)
+        assert result is not None
+        port, dep = result
+        assert port.index == 0
+        assert dep == pytest.approx(1.0 + 100 / 1e6)
+
+    def test_local_delivery_lands_in_sink(self):
+        sw = make_switch()
+        p = pkt("10.0.0.1")
+        assert sw.receive(p, 2.0) is None
+        assert sw.local_sink == [(p, 2.0)]
+
+    def test_unroutable_marked_dropped(self):
+        sw = make_switch()
+        p = pkt("99.0.0.1")
+        assert sw.receive(p, 0.0) is None
+        assert p.dropped
+
+    def test_buffer_overflow_returns_none(self):
+        sw = make_switch()
+        sw.add_port(8e6, 150)
+        sw.add_route(Prefix(0, 0), 0)
+        assert sw.receive(pkt("11.0.0.1"), 0.0) is not None
+        p = pkt("11.0.0.1")
+        assert sw.receive(p, 0.0) is None
+        assert p.dropped
+
+    def test_path_recorded(self):
+        sw = make_switch()
+        p = pkt("10.0.0.1")
+        sw.receive(p, 0.0)
+        assert p.path == (0,)
+
+
+class TestMarkingAndTaps:
+    def test_marking_switch_stamps_tos(self):
+        sw = make_switch(mark=9)
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), 0)
+        p = pkt("11.0.0.1")
+        sw.receive(p, 0.0)
+        assert decode_mark(p.tos) == 9
+
+    def test_local_delivery_not_marked(self):
+        sw = make_switch(mark=9)
+        p = pkt("10.0.0.1")
+        sw.receive(p, 0.0)
+        assert decode_mark(p.tos) == 0
+
+    def test_arrival_tap_sees_every_packet(self):
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), 0)
+        seen = []
+        sw.add_arrival_tap(lambda p, t, i: seen.append((p, t, i)))
+        p1, p2 = pkt("11.0.0.1"), pkt("10.0.0.1")
+        sw.receive(p1, 1.0, in_port=3)
+        sw.receive(p2, 2.0)
+        assert seen == [(p1, 1.0, 3), (p2, 2.0, -1)]
+
+    def test_enqueue_tap_fires_only_for_accepted(self):
+        sw = make_switch()
+        sw.add_port(8e6, 150)
+        sw.add_route(Prefix(0, 0), 0)
+        seen = []
+        sw.ports[0].add_enqueue_tap(lambda p, t: seen.append(p))
+        a, b = pkt("11.0.0.1"), pkt("11.0.0.1")
+        sw.receive(a, 0.0)
+        sw.receive(b, 0.0)  # dropped
+        assert seen == [a]
+
+    def test_injected_packet_queues_behind_tap_trigger(self):
+        """A reference injected from an enqueue tap departs after the
+        packet that triggered it (the 1-and-n semantics)."""
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), 0)
+        departures = {}
+
+        def tap(p, t):
+            if p.size == 100:  # the regular packet
+                ref = Packet(src=1, dst=2, size=64)
+                result = sw.inject(ref, t, 0)
+                departures["ref"] = result[1]
+
+        sw.ports[0].add_enqueue_tap(tap)
+        _, dep_regular = sw.receive(pkt("11.0.0.1"), 0.0)
+        assert departures["ref"] > dep_regular
+
+    def test_depart_tap_gets_departure_time(self):
+        sw = make_switch()
+        sw.add_port(8e6, None)
+        sw.add_route(Prefix(0, 0), 0)
+        seen = []
+        sw.ports[0].add_depart_tap(lambda p, t: seen.append(t))
+        _, dep = sw.receive(pkt("11.0.0.1"), 0.0)
+        assert seen == [dep]

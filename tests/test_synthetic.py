@@ -1,0 +1,83 @@
+"""Tests for the synthetic OC-192-like trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.net.addressing import Prefix, ip_to_int
+from repro.sim.topology import FatTree
+from repro.traffic.synthetic import TraceConfig, generate_fattree_trace, generate_trace
+
+
+class TestGenerateTrace:
+    def test_sorted_by_time(self, small_trace):
+        times = [p.ts for p in small_trace]
+        assert times == sorted(times)
+
+    def test_within_duration(self, small_trace):
+        assert all(0.0 <= p.ts < 0.5 for p in small_trace)
+
+    def test_packet_count_near_target(self):
+        cfg = TraceConfig(duration=1.0, n_packets=20_000)
+        trace = generate_trace(cfg, seed=1)
+        assert 0.5 * 20_000 < len(trace) < 1.5 * 20_000
+
+    def test_mean_flow_size_near_target(self):
+        cfg = TraceConfig(duration=2.0, n_packets=30_000, mean_flow_pkts=15.0)
+        trace = generate_trace(cfg, seed=2)
+        mean_size = len(trace) / trace.n_flows
+        assert 5.0 < mean_size < 40.0  # heavy tail + truncation: loose band
+
+    def test_addresses_in_configured_pools(self):
+        cfg = TraceConfig(duration=0.2, n_packets=2000,
+                          src_base="10.1.0.0", dst_base="10.2.0.0")
+        trace = generate_trace(cfg, seed=3)
+        src_prefix = Prefix.parse("10.1.0.0/16")
+        dst_prefix = Prefix.parse("10.2.0.0/16")
+        assert all(p.src in src_prefix for p in trace)
+        assert all(p.dst in dst_prefix for p in trace)
+
+    def test_reproducible_per_seed(self):
+        cfg = TraceConfig(duration=0.2, n_packets=1000)
+        a = generate_trace(cfg, seed=9)
+        b = generate_trace(cfg, seed=9)
+        assert len(a) == len(b)
+        assert all(x.flow_key == y.flow_key and x.ts == y.ts for x, y in zip(a, b))
+
+    def test_different_seed_differs(self):
+        cfg = TraceConfig(duration=0.2, n_packets=1000)
+        a = generate_trace(cfg, seed=1)
+        b = generate_trace(cfg, seed=2)
+        assert [p.ts for p in a[:50]] != [q.ts for q in b[:50]]
+
+    def test_no_single_flow_dominates_rate(self):
+        """Backbone-like: per-flow rate small relative to the aggregate."""
+        cfg = TraceConfig(duration=2.0, n_packets=50_000)
+        trace = generate_trace(cfg, seed=4)
+        by_flow = {}
+        for p in trace:
+            by_flow[p.flow_key] = by_flow.get(p.flow_key, 0) + p.size
+        top = max(by_flow.values())
+        assert top < 0.15 * trace.total_bytes
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TraceConfig(duration=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(n_packets=0)
+        with pytest.raises(ValueError):
+            TraceConfig(mean_gap=0.0)
+
+
+class TestFatTreeTrace:
+    def test_endpoints_from_pairs(self):
+        ft = FatTree(4)
+        pairs = [(ft.host_address(0, 0, 0), ft.host_address(1, 0, 0)),
+                 (ft.host_address(0, 1, 1), ft.host_address(2, 1, 0))]
+        cfg = TraceConfig(duration=0.2, n_packets=2000)
+        trace = generate_fattree_trace(cfg, pairs, seed=5)
+        allowed = set(pairs)
+        assert all((p.src, p.dst) in allowed for p in trace)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_fattree_trace(TraceConfig(), [], seed=0)
