@@ -10,8 +10,9 @@ from repro.analysis.report import format_table
 from repro.experiments.ablations import run_estimator_ablation
 
 
-def test_ablation_estimators(benchmark, bench_config):
+def test_ablation_estimators(benchmark, bench_config, bench_runner):
     results = benchmark.pedantic(run_estimator_ablation, args=(bench_config,),
+                                 kwargs={"runner": bench_runner},
                                  rounds=1, iterations=1)
 
     print_banner("Ablation: per-packet estimator strategy (93% utilization)")

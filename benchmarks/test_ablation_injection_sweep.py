@@ -11,8 +11,9 @@ from repro.analysis.report import format_table
 from repro.experiments.ablations import run_injection_sweep
 
 
-def test_ablation_injection_sweep(benchmark, bench_config):
+def test_ablation_injection_sweep(benchmark, bench_config, bench_runner):
     rows = benchmark.pedantic(run_injection_sweep, args=(bench_config,),
+                              kwargs={"runner": bench_runner},
                               rounds=1, iterations=1)
 
     print_banner("Ablation: static 1-and-n injection sweep (93% utilization)")

@@ -11,8 +11,9 @@ from repro.analysis.report import format_table
 from repro.experiments.ablations import run_sync_error_ablation
 
 
-def test_ablation_sync_error(benchmark, bench_config):
+def test_ablation_sync_error(benchmark, bench_config, bench_runner):
     rows = benchmark.pedantic(run_sync_error_ablation, args=(bench_config,),
+                              kwargs={"runner": bench_runner},
                               rounds=1, iterations=1)
 
     print_banner("Ablation: receiver clock offset vs estimation accuracy (93% util)")

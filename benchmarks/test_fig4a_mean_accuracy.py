@@ -16,8 +16,10 @@ HEADERS = ["series", "util", "true mean (us)", "median RE(mean)",
            "flows RE<10%", "median RE(std)", "refs"]
 
 
-def test_fig4a_mean_accuracy(benchmark, bench_config):
-    curves = benchmark.pedantic(run_fig4ab, args=(bench_config,), rounds=1, iterations=1)
+def test_fig4a_mean_accuracy(benchmark, bench_config, bench_runner):
+    curves = benchmark.pedantic(run_fig4ab, args=(bench_config,),
+                                kwargs={"runner": bench_runner},
+                                rounds=1, iterations=1)
 
     print_banner("Figure 4(a): per-flow MEAN latency estimates, random cross traffic")
     print(format_table(HEADERS, [c.summary_row() for c in curves]))

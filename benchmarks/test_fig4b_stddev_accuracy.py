@@ -16,8 +16,10 @@ from repro.experiments.fig4 import run_fig4ab
 HEADERS = ["series", "util", "flows(std defined)", "median RE(std)", "flows RE<10%"]
 
 
-def test_fig4b_stddev_accuracy(benchmark, bench_config):
-    curves = benchmark.pedantic(run_fig4ab, args=(bench_config,), rounds=1, iterations=1)
+def test_fig4b_stddev_accuracy(benchmark, bench_config, bench_runner):
+    curves = benchmark.pedantic(run_fig4ab, args=(bench_config,),
+                                kwargs={"runner": bench_runner},
+                                rounds=1, iterations=1)
 
     print_banner("Figure 4(b): per-flow STD-DEV latency estimates, random cross traffic")
     rows = []
@@ -25,7 +27,7 @@ def test_fig4b_stddev_accuracy(benchmark, bench_config):
         ecdf = c.std_ecdf
         rows.append([
             c.label,
-            f"{c.condition.measured_util:.0%}",
+            f"{c.summary.measured_util:.0%}",
             c.std_join.joined,
             f"{ecdf.median:.3f}" if ecdf else "n/a",
             f"{ecdf.fraction_below(0.10):.0%}" if ecdf else "n/a",

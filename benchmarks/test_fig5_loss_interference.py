@@ -17,9 +17,10 @@ HEADERS = ["target util", "measured util", "baseline loss",
            "static diff", "adaptive diff", "refs static", "refs adaptive"]
 
 
-def test_fig5_loss_interference(benchmark, bench_config):
+def test_fig5_loss_interference(benchmark, bench_config, bench_runner):
     rows = benchmark.pedantic(run_fig5, args=(bench_config,),
-                              kwargs={"n_seeds": 3}, rounds=1, iterations=1)
+                              kwargs={"n_seeds": 3, "runner": bench_runner},
+                              rounds=1, iterations=1)
 
     print_banner("Figure 5: reference-packet interference (loss-rate difference)")
     print(format_table(HEADERS, [

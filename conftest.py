@@ -1,0 +1,52 @@
+"""Repo-level pytest configuration.
+
+* Registers the ``slow`` marker and applies it to everything under
+  ``benchmarks/`` — each bench regenerates a full paper figure at
+  ``REPRO_SCALE``, minutes of work at default scale — so a quick CI lane
+  can run ``pytest -m "not slow"`` while the bench lane runs
+  ``pytest benchmarks``.
+* Adds the sweep-runner knobs ``--jobs`` / ``--no-cache`` /
+  ``--cache-dir`` consumed by the ``bench_runner`` fixture in
+  ``benchmarks/conftest.py`` (mirroring the ``repro-rlir`` CLI flags).
+"""
+
+import pathlib
+
+
+# mirrors repro.cli._positive_int — kept separate because conftest must not
+# require src/ on sys.path at collection time
+def _positive_int(raw):
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"must be a positive integer: {raw}")
+    return value
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro sweep runner")
+    group.addoption("--jobs", type=_positive_int, default=1,
+                    help="worker processes for experiment sweeps (default 1)")
+    group.addoption("--no-cache", action="store_true", default=False,
+                    help="disable the on-disk sweep result cache")
+    group.addoption("--cache-dir", default=None,
+                    help="sweep result cache directory (default: .repro-cache)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-scale paper benchmark (deselect with -m 'not slow')",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    import pytest
+
+    root = pathlib.Path(str(config.rootpath))
+    for item in items:
+        try:
+            rel = pathlib.Path(str(item.fspath)).relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts and rel.parts[0] == "benchmarks":
+            item.add_marker(pytest.mark.slow)

@@ -7,6 +7,7 @@ flow, |estimate − truth| / truth, computed over per-flow means
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..core.flowstats import FlowStatsTable, StreamingStats
@@ -26,14 +27,19 @@ def relative_error(estimate: float, truth: float) -> float:
     return abs(estimate - truth) / truth
 
 
+@dataclass
 class FlowErrorJoin:
-    """Join of estimated and true tables with coverage accounting."""
+    """Join of estimated and true tables with coverage accounting.
 
-    def __init__(self, errors: List[float], joined: int, skipped_missing: int, skipped_zero: int):
-        self.errors = errors
-        self.joined = joined
-        self.skipped_missing = skipped_missing  # flows with no estimate
-        self.skipped_zero = skipped_zero  # flows where truth makes RE undefined
+    A plain value object (picklable, comparable by value) so condition
+    summaries carrying it can cross process boundaries and be asserted
+    byte-identical by the determinism suite.
+    """
+
+    errors: List[float]
+    joined: int
+    skipped_missing: int  # flows with no estimate
+    skipped_zero: int  # flows where truth makes RE undefined
 
     def __repr__(self) -> str:
         return (

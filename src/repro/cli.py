@@ -5,12 +5,17 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir generate-trace --packets 50000 --out regular.npz
     repro-rlir trace-info regular.npz
     repro-rlir convert regular.npz regular.csv
-    repro-rlir fig4a [--scale 0.1]     # likewise fig4b / fig4c / fig5
+    repro-rlir fig4a [--scale 0.1] [--jobs 4]   # likewise fig4b/fig4c/fig5
     repro-rlir placement --k 4 8 16
     repro-rlir localize [--demux reverse-ecmp]
+    repro-rlir cache info|clear
 
 Experiment subcommands print the same rows/series the paper's figures plot
-(and the benches assert on), plus terminal CDF plots.
+(and the benches assert on), plus terminal CDF plots.  Their condition
+sweeps run through :mod:`repro.runner`: ``--jobs N`` fans conditions out
+over N worker processes, and results are memoized under ``.repro-cache/``
+(keyed by config, code version, and seeds) unless ``--no-cache`` is given —
+a repeated invocation answers from the cache in milliseconds.
 """
 
 from __future__ import annotations
@@ -58,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale (default: REPRO_SCALE or 1.0)")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--no-plot", action="store_true")
+        _add_runner_flags(p)
         if fig == "fig5":
             p.add_argument("--seeds", type=int, default=3,
                            help="cross-traffic selections averaged per point")
@@ -65,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     plc = sub.add_parser("placement", help="deployment-complexity table")
     plc.add_argument("--k", type=int, nargs="+", default=[4, 8, 16, 32, 48])
     plc.add_argument("--enumerate-up-to", type=int, default=16)
+    _add_runner_flags(plc)
+
+    cache = sub.add_parser("cache", help="inspect or clear the sweep result cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: .repro-cache)")
 
     loc = sub.add_parser("localize", help="run the RLIR localization demo")
     loc.add_argument("--demux", choices=["marking", "reverse-ecmp"],
@@ -72,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--packets", type=int, default=20_000)
 
     return parser
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer: {raw}")
+    return value
+
+
+def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+    """Sweep-runner knobs shared by every experiment subcommand."""
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for the condition sweep (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the on-disk result cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: .repro-cache)")
 
 
 # ----------------------------------------------------------------------
@@ -134,6 +163,15 @@ def _fig_config(args):
     return ExperimentConfig(scale=args.scale, seed=args.seed)
 
 
+def _make_runner(args):
+    from .runner import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    return ParallelRunner(jobs=args.jobs, cache=cache)
+
+
 def _print_fig4(curves, show_plot: bool, std: bool = False) -> None:
     from .analysis.plot import ascii_cdf
     from .analysis.report import format_table
@@ -154,21 +192,24 @@ def _print_fig4(curves, show_plot: bool, std: bool = False) -> None:
 def _cmd_fig4a(args) -> int:
     from .experiments.fig4 import run_fig4ab
 
-    _print_fig4(run_fig4ab(_fig_config(args)), not args.no_plot)
+    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args)),
+                not args.no_plot)
     return 0
 
 
 def _cmd_fig4b(args) -> int:
     from .experiments.fig4 import run_fig4ab
 
-    _print_fig4(run_fig4ab(_fig_config(args)), not args.no_plot, std=True)
+    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args)),
+                not args.no_plot, std=True)
     return 0
 
 
 def _cmd_fig4c(args) -> int:
     from .experiments.fig4 import run_fig4c
 
-    _print_fig4(run_fig4c(_fig_config(args)), not args.no_plot)
+    _print_fig4(run_fig4c(_fig_config(args), runner=_make_runner(args)),
+                not args.no_plot)
     return 0
 
 
@@ -177,7 +218,8 @@ def _cmd_fig5(args) -> int:
     from .analysis.report import format_table
     from .experiments.fig5 import run_fig5
 
-    rows = run_fig5(_fig_config(args), n_seeds=args.seeds)
+    rows = run_fig5(_fig_config(args), n_seeds=args.seeds,
+                    runner=_make_runner(args))
     print(format_table(
         ["target util", "measured util", "baseline loss", "static diff", "adaptive diff"],
         [[f"{r.target_util:.2f}", f"{r.measured_util:.3f}", f"{r.baseline_loss:.6f}",
@@ -199,7 +241,8 @@ def _cmd_placement(args) -> int:
     from .analysis.report import format_table
     from .experiments.placement import run_placement
 
-    rows = run_placement(ks=tuple(args.k), enumerate_up_to=args.enumerate_up_to)
+    rows = run_placement(ks=tuple(args.k), enumerate_up_to=args.enumerate_up_to,
+                         runner=_make_runner(args))
     print(format_table(
         ["k", "iface pair", "ToR pair", "all pairs (paper)",
          "all pairs (enum)", "full deploy", "RLIR/full"],
@@ -240,6 +283,24 @@ def _cmd_localize(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .runner import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {stats['entries']}")
+    if stats["orphans"]:
+        print(f"orphans:   {stats['orphans']} interrupted writes (cache clear removes)")
+    print(f"bytes:     {stats['bytes']}")
+    print(f"code:      {cache.fingerprint[:16]}…")
+    return 0
+
+
 _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "trace-info": _cmd_trace_info,
@@ -250,6 +311,7 @@ _COMMANDS = {
     "fig5": _cmd_fig5,
     "placement": _cmd_placement,
     "localize": _cmd_localize,
+    "cache": _cmd_cache,
 }
 
 

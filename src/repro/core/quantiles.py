@@ -27,7 +27,20 @@ Key = Tuple[int, int, int, int, int]
 
 
 class P2Quantile:
-    """O(1)-memory streaming estimator of one quantile (P² algorithm)."""
+    """O(1)-memory streaming estimator of one quantile (P² algorithm).
+
+    The first :data:`WARMUP` samples are buffered and answered *exactly*;
+    when the first sample past the buffer arrives, the five P² markers are
+    initialized from the buffer's order statistics and the estimator
+    switches to streaming updates.
+    (Textbook P² seeds the markers with the first five raw samples, which
+    on short or adversarially ordered streams can leave the middle marker
+    stranded far from the target quantile — flows here are often only tens
+    of packets, exactly that regime.)  Memory stays O(1): at most
+    ``WARMUP`` buffered floats, then five markers.
+    """
+
+    WARMUP = 25
 
     __slots__ = ("q", "_heights", "_positions", "_desired", "_increments", "count")
 
@@ -35,9 +48,9 @@ class P2Quantile:
         if not 0.0 < q < 1.0:
             raise ValueError(f"quantile must be in (0, 1): {q}")
         self.q = q
-        self._heights: List[float] = []  # marker heights (first 5 samples)
-        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
-        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._heights: List[float] = []  # warm-up buffer, then marker heights
+        self._positions: Optional[List[float]] = None  # None while warming up
+        self._desired: Optional[List[float]] = None
         self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
         self.count = 0
 
@@ -47,11 +60,13 @@ class P2Quantile:
         """Fold one observation into the estimator."""
         self.count += 1
         heights = self._heights
-        if len(heights) < 5:
-            heights.append(value)
-            if len(heights) == 5:
-                heights.sort()
-            return
+        if self._positions is None:
+            if len(heights) < self.WARMUP:
+                heights.append(value)
+                return
+            # buffer full: seed the markers from it, then stream this value
+            self._init_markers()
+            heights = self._heights
 
         # find the cell k containing the new value, updating extremes
         if value < heights[0]:
@@ -85,6 +100,23 @@ class P2Quantile:
                     heights[i] = self._linear(i, direction)
                 positions[i] += direction
 
+    def _init_markers(self) -> None:
+        """Seed the five markers from the warm-up buffer's order statistics."""
+        ordered = sorted(self._heights)
+        n = len(ordered)
+        ranks = [1 + round(p * (n - 1)) for p in self._increments]
+        # strictly increasing integer ranks (the P² invariants require it):
+        # box each middle rank so marker i keeps i markers below and 4-i
+        # above it, then one forward pass restores strict ascent in-box
+        for i in (1, 2, 3):
+            ranks[i] = min(max(ranks[i], i + 1), n - 4 + i)
+        ranks[0], ranks[4] = 1, n
+        for i in (1, 2, 3):
+            ranks[i] = max(ranks[i], ranks[i - 1] + 1)
+        self._heights = [ordered[r - 1] for r in ranks]
+        self._positions = [float(r) for r in ranks]
+        self._desired = [1.0 + p * (n - 1) for p in self._increments]
+
     def _parabolic(self, i: int, d: float) -> float:
         h, n = self._heights, self._positions
         return h[i] + d / (n[i + 1] - n[i - 1]) * (
@@ -101,11 +133,11 @@ class P2Quantile:
 
     @property
     def estimate(self) -> float:
-        """Current quantile estimate (exact for fewer than 5 samples)."""
+        """Current quantile estimate (exact while in the warm-up buffer)."""
         if self.count == 0:
             raise ValueError("no samples yet")
         heights = self._heights
-        if len(heights) < 5:
+        if self._positions is None:
             ordered = sorted(heights)
             index = max(0, min(len(ordered) - 1, math.ceil(self.q * len(ordered)) - 1))
             return ordered[index]

@@ -16,8 +16,14 @@ from .extensions import (
 )
 from .fig4 import Fig4Curve, run_fig4ab, run_fig4c
 from .fig5 import Fig5Row, run_fig5
-from .placement import PlacementRow, run_placement
-from .workloads import ConditionResult, PipelineWorkload, run_condition
+from .placement import PlacementJob, PlacementRow, run_placement
+from .workloads import (
+    ConditionResult,
+    ConditionSummary,
+    PipelineWorkload,
+    run_condition,
+    run_condition_job,
+)
 
 __all__ = [
     "run_granularity_comparison",
@@ -35,9 +41,12 @@ __all__ = [
     "run_fig4c",
     "Fig5Row",
     "run_fig5",
+    "PlacementJob",
     "PlacementRow",
     "run_placement",
     "ConditionResult",
+    "ConditionSummary",
     "PipelineWorkload",
     "run_condition",
+    "run_condition_job",
 ]

@@ -22,13 +22,13 @@ from ..baselines.lda import Lda
 from ..baselines.multiflow import MultiflowEstimator
 from ..baselines.trajectory import TrajectorySampler
 from ..core.flowstats import StreamingStats
-from ..core.injection import StaticInjection
 from ..core.receiver import RliReceiver
 from ..core.sender import RliSender
-from ..sim.clock import OffsetClock
+from ..runner.runner import ParallelRunner
+from ..runner.spec import JobSpec
 from ..sim.pipeline import TwoSwitchPipeline
 from .config import ExperimentConfig
-from .workloads import PIPELINE_SENDER_ID, PipelineWorkload, run_condition
+from .workloads import PipelineWorkload
 
 __all__ = [
     "run_estimator_ablation",
@@ -42,49 +42,45 @@ def run_estimator_ablation(
     cfg: Optional[ExperimentConfig] = None,
     utilization: float = 0.93,
     estimators: Tuple[str, ...] = ("linear", "previous", "nearest"),
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[str, Ecdf]:
     """Median flow-mean error per interpolation strategy (same workload)."""
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    out = {}
-    for estimator in estimators:
-        condition = run_condition(workload, "static", "random", utilization, estimator=estimator)
-        join = flow_mean_errors(condition.receiver.flow_estimated, condition.receiver.flow_true)
-        out[estimator] = Ecdf(join.errors)
-    return out
+    runner = runner or ParallelRunner()
+    jobs = [
+        JobSpec.from_config(cfg, "static", "random", utilization, estimator=estimator)
+        for estimator in estimators
+    ]
+    return {
+        estimator: Ecdf(summary.mean_join.errors)
+        for estimator, summary in zip(estimators, runner.run(jobs))
+    }
 
 
 def run_injection_sweep(
     cfg: Optional[ExperimentConfig] = None,
     utilization: float = 0.93,
     gaps: Tuple[int, ...] = (10, 30, 100, 300, 1000),
+    runner: Optional[ParallelRunner] = None,
 ) -> List[Tuple[int, float, int]]:
     """(n, median flow-mean relative error, refs injected) per static gap."""
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    rows = []
-    for n in gaps:
-        sender = workload.make_sender("static")
-        sender.policy = StaticInjection(n)
-        receiver = workload.make_receiver()
-        pipeline = TwoSwitchPipeline(workload.pipeline_config)
-        result = pipeline.run(
-            regular=workload.regular.clone_packets(),
-            cross=workload.cross_arrivals("random", utilization),
-            sender=sender,
-            receiver=receiver,
-            duration=cfg.duration,
-        )
-        receiver.finalize()
-        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
-        rows.append((n, Ecdf(join.errors).median, result.refs_injected))
-    return rows
+    runner = runner or ParallelRunner()
+    jobs = [
+        JobSpec.from_config(cfg, "static", "random", utilization, static_n=n)
+        for n in gaps
+    ]
+    return [
+        (n, Ecdf(summary.mean_join.errors).median, summary.refs_injected)
+        for n, summary in zip(gaps, runner.run(jobs))
+    ]
 
 
 def run_sync_error_ablation(
     cfg: Optional[ExperimentConfig] = None,
     utilization: float = 0.93,
     offsets: Tuple[float, ...] = (0.0, 1e-6, 10e-6, 100e-6),
+    runner: Optional[ParallelRunner] = None,
 ) -> List[Tuple[float, float]]:
     """(receiver clock offset, median flow-mean relative error).
 
@@ -93,24 +89,15 @@ def run_sync_error_ablation(
     sync.
     """
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    rows = []
-    for offset in offsets:
-        sender = workload.make_sender("static")
-        receiver = workload.make_receiver()
-        receiver.clock = OffsetClock(offset)
-        pipeline = TwoSwitchPipeline(workload.pipeline_config)
-        pipeline.run(
-            regular=workload.regular.clone_packets(),
-            cross=workload.cross_arrivals("random", utilization),
-            sender=sender,
-            receiver=receiver,
-            duration=cfg.duration,
-        )
-        receiver.finalize()
-        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
-        rows.append((offset, Ecdf(join.errors).median))
-    return rows
+    runner = runner or ParallelRunner()
+    jobs = [
+        JobSpec.from_config(cfg, "static", "random", utilization, clock_offset=offset)
+        for offset in offsets
+    ]
+    return [
+        (offset, Ecdf(summary.mean_join.errors).median)
+        for offset, summary in zip(offsets, runner.run(jobs))
+    ]
 
 
 class _TeeSender:

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 import os
 
-__all__ = ["ExperimentConfig", "default_scale", "REGULAR_SRC_BASE", "CROSS_SRC_BASE"]
+__all__ = [
+    "ExperimentConfig",
+    "config_from_items",
+    "default_scale",
+    "REGULAR_SRC_BASE",
+    "CROSS_SRC_BASE",
+]
 
 # address plan: regular and cross traffic are distinguished by source block,
 # exactly like the paper's modified-IP cross trace
@@ -86,3 +92,17 @@ class ExperimentConfig:
             f"ExperimentConfig(scale={self.scale}, regular={self.n_regular_packets}, "
             f"cross={self.n_cross_packets}, duration={self.duration}s)"
         )
+
+
+def config_from_items(items) -> ExperimentConfig:
+    """Rebuild an ExperimentConfig from frozen ``(name, value)`` pairs.
+
+    Inverse of ``repro.runner.spec.config_items``: reconstructs through the
+    constructor (so derived fields are recomputed consistently) and then
+    restores every frozen attribute, including hand-mutated knobs.
+    """
+    by_name = dict(items)
+    cfg = ExperimentConfig(scale=by_name["scale"], seed=by_name["seed"])
+    for name, value in by_name.items():
+        setattr(cfg, name, value)
+    return cfg

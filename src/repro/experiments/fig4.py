@@ -5,16 +5,24 @@
 * Figure 4(b): same for per-flow **standard deviation** estimates.
 * Figure 4(c): mean estimates, **bursty vs random** cross traffic at
   {34 %, 67 %} utilization.
+
+Both drivers enumerate their condition grid as a declarative
+:class:`~repro.runner.spec.SweepSpec` and execute it through a
+:class:`~repro.runner.runner.ParallelRunner` — pass ``runner=`` to fan the
+conditions out over worker processes and/or memoize them on disk; the
+default is serial and uncached with identical numbers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..analysis.cdf import Ecdf
-from ..analysis.metrics import FlowErrorJoin, flow_mean_errors, flow_std_errors
+from ..analysis.metrics import FlowErrorJoin
+from ..runner.runner import ParallelRunner
+from ..runner.spec import SweepSpec
 from .config import ExperimentConfig
-from .workloads import ConditionResult, PipelineWorkload, run_condition
+from .workloads import ConditionSummary
 
 __all__ = ["Fig4Curve", "run_fig4ab", "run_fig4c"]
 
@@ -22,17 +30,17 @@ __all__ = ["Fig4Curve", "run_fig4ab", "run_fig4c"]
 class Fig4Curve:
     """One CDF curve of Figure 4, with its provenance."""
 
-    def __init__(
-        self,
-        label: str,
-        condition: ConditionResult,
-        mean_join: FlowErrorJoin,
-        std_join: FlowErrorJoin,
-    ):
+    def __init__(self, label: str, summary: ConditionSummary):
         self.label = label
-        self.condition = condition
-        self.mean_join = mean_join
-        self.std_join = std_join
+        self.summary = summary
+
+    @property
+    def mean_join(self) -> FlowErrorJoin:
+        return self.summary.mean_join
+
+    @property
+    def std_join(self) -> FlowErrorJoin:
+        return self.summary.std_join
 
     @property
     def mean_ecdf(self) -> Ecdf:
@@ -48,52 +56,55 @@ class Fig4Curve:
         std = self.std_ecdf
         return [
             self.label,
-            f"{self.condition.measured_util:.0%}",
-            f"{self.condition.mean_true_latency * 1e6:.1f}",
+            f"{self.summary.measured_util:.0%}",
+            f"{self.summary.mean_true_latency * 1e6:.1f}",
             f"{mean.median:.3f}",
             f"{mean.fraction_below(0.10):.0%}",
             f"{std.median:.3f}" if std else "n/a",
-            self.condition.sender.refs_injected,
+            self.summary.sender_refs_injected,
         ]
 
 
-def _measure(label: str, condition: ConditionResult) -> Fig4Curve:
-    receiver = condition.receiver
-    return Fig4Curve(
-        label,
-        condition,
-        flow_mean_errors(receiver.flow_estimated, receiver.flow_true),
-        flow_std_errors(receiver.flow_estimated, receiver.flow_true),
-    )
+def _curves(spec: SweepSpec, runner: Optional[ParallelRunner],
+            label_of) -> List[Fig4Curve]:
+    runner = runner or ParallelRunner()
+    jobs = spec.jobs()
+    summaries = runner.run(jobs)
+    return [Fig4Curve(label_of(job), summary) for job, summary in zip(jobs, summaries)]
 
 
-def run_fig4ab(cfg: Optional[ExperimentConfig] = None) -> List[Fig4Curve]:
+def run_fig4ab(cfg: Optional[ExperimentConfig] = None,
+               runner: Optional[ParallelRunner] = None) -> List[Fig4Curve]:
     """The four curves of Figures 4(a) and 4(b).
 
     Returns curves labelled ``{scheme}, {util}`` in the paper's legend
     order: adaptive/93, static/93, adaptive/67, static/67.
     """
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    curves = []
-    for util in sorted(cfg.fig4ab_utilizations, reverse=True):
-        for scheme in ("adaptive", "static"):
-            condition = run_condition(workload, scheme, "random", util)
-            curves.append(_measure(f"{scheme}, {util:.0%}", condition))
-    return curves
+    spec = SweepSpec.from_config(
+        cfg,
+        schemes=("adaptive", "static"),
+        models=("random",),
+        utilizations=tuple(sorted(cfg.fig4ab_utilizations, reverse=True)),
+    )
+    return _curves(spec, runner,
+                   lambda job: f"{job.scheme}, {job.target_util:.0%}")
 
 
-def run_fig4c(cfg: Optional[ExperimentConfig] = None) -> List[Fig4Curve]:
+def run_fig4c(cfg: Optional[ExperimentConfig] = None,
+              runner: Optional[ParallelRunner] = None) -> List[Fig4Curve]:
     """The four curves of Figure 4(c): bursty vs random at 34 % and 67 %.
 
     The paper uses the adaptive scheme's accuracy for this comparison;
     injection is held fixed (adaptive) while the cross-traffic model varies.
     """
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    curves = []
-    for model in ("bursty", "random"):
-        for util in sorted(cfg.fig4c_utilizations, reverse=True):
-            condition = run_condition(workload, "adaptive", model, util)
-            curves.append(_measure(f"{model}, {util:.0%}", condition))
-    return curves
+    spec = SweepSpec.from_config(
+        cfg,
+        schemes=("adaptive",),
+        models=("bursty", "random"),
+        utilizations=tuple(sorted(cfg.fig4c_utilizations, reverse=True)),
+        axis_order=("model", "utilization", "scheme", "estimator", "run_seed"),
+    )
+    return _curves(spec, runner,
+                   lambda job: f"{job.model}, {job.target_util:.0%}")

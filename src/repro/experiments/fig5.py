@@ -17,8 +17,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..net.packet import PacketKind
+from ..runner.runner import ParallelRunner
+from ..runner.spec import SweepSpec
 from .config import ExperimentConfig
-from .workloads import PipelineWorkload, run_condition
 
 __all__ = ["Fig5Row", "run_fig5"]
 
@@ -60,32 +61,45 @@ class Fig5Row:
         )
 
 
-def run_fig5(cfg: Optional[ExperimentConfig] = None, n_seeds: int = 3) -> List[Fig5Row]:
+def run_fig5(cfg: Optional[ExperimentConfig] = None, n_seeds: int = 3,
+             runner: Optional[ParallelRunner] = None) -> List[Fig5Row]:
     """The Figure-5 sweep (random cross-traffic model, utilization 82–98 %).
 
     Loss-rate differences are tiny (the paper's y-axis tops out at 7×10⁻⁴),
     so each point averages ``n_seeds`` cross-traffic selections; within one
     seed the regular trace and cross selection are identical across the
     three runs, making the difference a paired comparison.
+
+    The 3 × ``n_seeds`` × |utilizations| conditions are independent; pass a
+    parallel ``runner`` to fan them out.
     """
     if n_seeds < 1:
         raise ValueError(f"n_seeds must be >= 1: {n_seeds}")
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
+    runner = runner or ParallelRunner()
+    spec = SweepSpec.from_config(
+        cfg,
+        schemes=(None, "static", "adaptive"),
+        models=("random",),
+        utilizations=tuple(cfg.fig5_utilizations),
+        run_seeds=tuple(range(n_seeds)),
+        axis_order=("utilization", "run_seed", "scheme", "model", "estimator"),
+    )
+    summaries = iter(runner.run(spec))
     rows = []
     for util in cfg.fig5_utilizations:
         measured = base_loss = static_loss = adaptive_loss = 0.0
         static_refs = adaptive_refs = 0
-        for seed in range(n_seeds):
-            baseline = run_condition(workload, None, "random", util, run_seed=seed)
-            static = run_condition(workload, "static", "random", util, run_seed=seed)
-            adaptive = run_condition(workload, "adaptive", "random", util, run_seed=seed)
-            measured += baseline.pipeline.utilization2
-            base_loss += baseline.pipeline.loss_rate(PacketKind.REGULAR)
-            static_loss += static.pipeline.loss_rate(PacketKind.REGULAR)
-            adaptive_loss += adaptive.pipeline.loss_rate(PacketKind.REGULAR)
-            static_refs += static.pipeline.refs_injected
-            adaptive_refs += adaptive.pipeline.refs_injected
+        for _seed in range(n_seeds):
+            baseline = next(summaries)
+            static = next(summaries)
+            adaptive = next(summaries)
+            measured += baseline.measured_util
+            base_loss += baseline.loss_rate(PacketKind.REGULAR)
+            static_loss += static.loss_rate(PacketKind.REGULAR)
+            adaptive_loss += adaptive.loss_rate(PacketKind.REGULAR)
+            static_refs += static.refs_injected
+            adaptive_refs += adaptive.refs_injected
         rows.append(
             Fig5Row(
                 target_util=util,

@@ -7,8 +7,10 @@ with full deployment — the quantitative argument for partial placement.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..runner.runner import ParallelRunner
 from ..core.placement import (
     RlirPlacement,
     instances_all_tor_pairs_enumerated,
@@ -19,7 +21,7 @@ from ..core.placement import (
 )
 from ..sim.topology import FatTree
 
-__all__ = ["PlacementRow", "run_placement"]
+__all__ = ["PlacementRow", "PlacementJob", "run_placement"]
 
 
 class PlacementRow:
@@ -59,13 +61,40 @@ class PlacementRow:
         ]
 
 
+@dataclass(frozen=True)
+class PlacementJob:
+    """One arity of the placement table as a runner job.
+
+    Topology enumeration at large k is the expensive part (O(k³) switch
+    objects); rows for different arities are independent, so the table
+    parallelizes and caches per-k.  The row itself holds only integer
+    counts, so it pickles across workers and into the result cache.
+    """
+
+    k: int
+    enumerate_on_topology: bool
+
+    def cache_token(self) -> dict:
+        return {
+            "kind": "placement",
+            "k": self.k,
+            "enumerate_on_topology": self.enumerate_on_topology,
+        }
+
+    def run(self) -> PlacementRow:
+        return PlacementRow(self.k, enumerate_on_topology=self.enumerate_on_topology)
+
+
 def run_placement(
     ks: Sequence[int] = (4, 8, 16, 32, 48),
     enumerate_up_to: int = 16,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[PlacementRow]:
     """Rows for the placement table.
 
     Topology enumeration is O(k³) switch objects, so it is verified only up
     to ``enumerate_up_to``; larger arities report formulas only.
     """
-    return [PlacementRow(k, enumerate_on_topology=(k <= enumerate_up_to)) for k in ks]
+    runner = runner or ParallelRunner()
+    jobs = [PlacementJob(k, enumerate_on_topology=(k <= enumerate_up_to)) for k in ks]
+    return runner.run(jobs)

@@ -7,14 +7,17 @@ RLI senders/receivers for one condition of Figure 4/5.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.metrics import FlowErrorJoin, flow_mean_errors, flow_std_errors
 from ..core.demux import SingleSenderDemux
 from ..core.injection import AdaptiveInjection, InjectionPolicy, StaticInjection
 from ..core.receiver import RliReceiver
 from ..core.sender import RefTemplate, RliSender
 from ..net.addressing import Prefix, ip_to_int
-from ..net.packet import Packet
+from ..net.packet import Packet, PacketKind
+from ..sim.clock import OffsetClock
 from ..sim.pipeline import PipelineConfig, PipelineResult, TwoSwitchPipeline
 from ..traffic.crosstraffic import (
     BurstyModel,
@@ -23,9 +26,22 @@ from ..traffic.crosstraffic import (
 )
 from ..traffic.synthetic import TraceConfig, generate_trace
 from ..traffic.trace import Trace
-from .config import CROSS_SRC_BASE, REGULAR_SRC_BASE, ExperimentConfig
+from .config import (
+    CROSS_SRC_BASE,
+    REGULAR_SRC_BASE,
+    ExperimentConfig,
+    config_from_items,
+)
 
-__all__ = ["PipelineWorkload", "ConditionResult", "run_condition"]
+__all__ = [
+    "PipelineWorkload",
+    "ConditionResult",
+    "ConditionSummary",
+    "run_condition",
+    "run_condition_job",
+    "summarize_condition",
+    "workload_for",
+]
 
 PIPELINE_SENDER_ID = 1
 
@@ -33,8 +49,13 @@ _trace_cache: Dict[Tuple, Trace] = {}
 
 
 def _cached_trace(kind: str, cfg: ExperimentConfig) -> Trace:
-    """Build (once) the regular or cross trace for this config."""
-    key = (kind, cfg.n_regular_packets, cfg.n_cross_packets, cfg.duration, cfg.seed)
+    """Build (once) the regular or cross trace for this config.
+
+    The key must cover every knob generate_trace consumes, or two configs
+    differing only in an omitted knob would silently share one trace.
+    """
+    key = (kind, cfg.n_regular_packets, cfg.n_cross_packets, cfg.duration,
+           cfg.mean_flow_pkts, cfg.seed)
     trace = _trace_cache.get(key)
     if trace is not None:
         return trace
@@ -171,13 +192,22 @@ def run_condition(
     target_util: float,
     estimator: str = "linear",
     run_seed: int = 0,
+    static_n: Optional[int] = None,
+    clock_offset: float = 0.0,
 ) -> ConditionResult:
     """Run one pipeline condition.
 
     ``scheme=None`` disables reference injection (Figure 5's baseline runs).
+    ``static_n`` overrides the injection gap (the injection-gap ablation);
+    a nonzero ``clock_offset`` desynchronizes the receiver clock (the
+    sync-error ablation).
     """
     sender = workload.make_sender(scheme) if scheme is not None else None
+    if sender is not None and static_n is not None:
+        sender.policy = StaticInjection(static_n)
     receiver = workload.make_receiver(estimator) if scheme is not None else None
+    if receiver is not None and clock_offset != 0.0:
+        receiver.clock = OffsetClock(clock_offset)
     cross = workload.cross_arrivals(model, target_util, seed=run_seed)
     pipeline = TwoSwitchPipeline(workload.pipeline_config)
     result = pipeline.run(
@@ -190,3 +220,129 @@ def run_condition(
     if receiver is not None:
         receiver.finalize()
     return ConditionResult(scheme, model, target_util, result, receiver, sender)
+
+
+# ----------------------------------------------------------------------
+# picklable condition summaries and the sweep-runner job function
+
+FlowKey = Tuple[int, int, int, int, int]
+FlowRow = Tuple[int, float, float]  # (count, mean, std)
+
+
+@dataclass
+class ConditionSummary:
+    """Everything the figure drivers need from one condition, as plain data.
+
+    Unlike :class:`ConditionResult` (which holds live receiver/queue
+    objects), a summary is a value: picklable across process boundaries,
+    cacheable on disk, and comparable with ``==`` — the determinism suite
+    asserts serial and parallel sweeps produce *equal* summaries.
+    """
+
+    scheme: Optional[str]
+    model: str
+    target_util: float
+    estimator: str
+    run_seed: int
+    # bottleneck-link accounting
+    measured_util: float
+    utilization1: float
+    processed_packets: int  # arrivals at the bottleneck switch
+    delivered_packets: int  # arrivals minus drops
+    arrivals2: Dict[str, int] = field(default_factory=dict)  # by PacketKind name
+    drops2: Dict[str, int] = field(default_factory=dict)
+    # reference-injection accounting
+    refs_injected: int = 0  # references that entered the pipeline
+    sender_refs_injected: int = 0  # references the sender generated
+    # accuracy
+    mean_true_latency: float = 0.0
+    mean_join: Optional[FlowErrorJoin] = None
+    std_join: Optional[FlowErrorJoin] = None
+    # per-flow tables: flow key -> (count, mean, std)
+    flow_estimated: Dict[FlowKey, FlowRow] = field(default_factory=dict)
+    flow_true: Dict[FlowKey, FlowRow] = field(default_factory=dict)
+
+    def loss_rate(self, kind: PacketKind = PacketKind.REGULAR) -> float:
+        """Loss rate of *kind* packets at the bottleneck switch."""
+        arrivals = self.arrivals2.get(kind.name, 0)
+        return self.drops2.get(kind.name, 0) / arrivals if arrivals else 0.0
+
+
+def _flow_table_rows(table) -> Dict[FlowKey, FlowRow]:
+    return {key: (stats.count, stats.mean, stats.std) for key, stats in table.items()}
+
+
+def summarize_condition(condition: ConditionResult, estimator: str = "linear",
+                        run_seed: int = 0) -> ConditionSummary:
+    """Reduce a live :class:`ConditionResult` to a picklable summary."""
+    pipeline = condition.pipeline
+    receiver = condition.receiver
+    processed = sum(pipeline.arrivals2.values())
+    dropped = sum(pipeline.drops2.values())
+    summary = ConditionSummary(
+        scheme=condition.scheme,
+        model=condition.model,
+        target_util=condition.target_util,
+        estimator=estimator,
+        run_seed=run_seed,
+        measured_util=pipeline.utilization2,
+        utilization1=pipeline.utilization1,
+        processed_packets=processed,
+        delivered_packets=processed - dropped,
+        arrivals2={kind.name: n for kind, n in pipeline.arrivals2.items()},
+        drops2={kind.name: n for kind, n in pipeline.drops2.items()},
+        refs_injected=pipeline.refs_injected,
+        sender_refs_injected=condition.sender.refs_injected if condition.sender else 0,
+    )
+    if receiver is not None:
+        summary.mean_true_latency = condition.mean_true_latency
+        summary.mean_join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
+        summary.std_join = flow_std_errors(receiver.flow_estimated, receiver.flow_true)
+        summary.flow_estimated = _flow_table_rows(receiver.flow_estimated)
+        summary.flow_true = _flow_table_rows(receiver.flow_true)
+    return summary
+
+
+# per-process workload memo so repeated jobs in one worker share traces;
+# bounded FIFO: a sweep touches one or two configs, so a handful of slots
+# gives full reuse without retaining workloads for every config a
+# long-lived process ever ran (the heavyweight traces are deduped one
+# level down in _trace_cache regardless)
+_workload_cache: Dict[Tuple, PipelineWorkload] = {}
+_WORKLOAD_CACHE_SLOTS = 4
+
+
+def workload_for(config_items: Tuple[Tuple[str, object], ...]) -> PipelineWorkload:
+    """The (memoized) workload for a frozen ExperimentConfig state.
+
+    Keyed by the full config items so any knob change rebuilds; the
+    underlying trace cache additionally dedupes across configs that share
+    trace parameters.
+    """
+    workload = _workload_cache.get(config_items)
+    if workload is None:
+        workload = PipelineWorkload(config_from_items(config_items))
+        while len(_workload_cache) >= _WORKLOAD_CACHE_SLOTS:
+            _workload_cache.pop(next(iter(_workload_cache)))
+        _workload_cache[config_items] = workload
+    return workload
+
+
+def run_condition_job(job) -> ConditionSummary:
+    """Execute one :class:`~repro.runner.spec.JobSpec` (pure function).
+
+    This is the unit of work the sweep runner distributes: everything the
+    run depends on is inside *job*, and the returned summary is plain data.
+    """
+    workload = workload_for(job.config)
+    condition = run_condition(
+        workload,
+        job.scheme,
+        job.model,
+        job.target_util,
+        estimator=job.estimator,
+        run_seed=job.run_seed,
+        static_n=job.static_n,
+        clock_offset=job.clock_offset,
+    )
+    return summarize_condition(condition, estimator=job.estimator, run_seed=job.run_seed)

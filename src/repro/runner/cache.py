@@ -1,0 +1,189 @@
+"""Content-addressed on-disk result cache for sweep jobs.
+
+Every cache entry is keyed by a SHA-256 over the *canonical JSON* of three
+things: the job's ``cache_token()`` (full experiment configuration plus the
+condition axes and seeds), a fingerprint of the ``repro`` package's source
+code, and the cache format version.  Any change to the configuration, the
+seeds, or the simulator source therefore produces a different key — stale
+results can never be served after a refactor.
+
+Layout (under ``.repro-cache/`` by default)::
+
+    .repro-cache/
+        ab/ab12cd…ef.pkl     # pickled job result, sharded by key prefix
+
+Entries are written atomically (temp file + ``os.replace``) so a crashed or
+interrupted sweep never leaves a truncated pickle behind under the final
+name; a corrupted entry (e.g. a partial write from a hard kill) is treated
+as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+__all__ = ["ResultCache", "code_fingerprint", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_MISSING = object()
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package's source files (memoized).
+
+    Hashes the *contents* (not mtimes) of every ``.py`` file under the
+    installed package directory, in sorted relative-path order, so the
+    fingerprint is stable across checkouts and machines but changes whenever
+    any simulator/experiment code changes.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding used for cache keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonify)
+
+
+def _jsonify(obj: Any) -> Any:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"not cache-key serializable: {obj!r}")
+
+
+class ResultCache:
+    """Pickle store under *root*, content-addressed by job token.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on first write.
+    fingerprint:
+        Code-version component of every key.  Defaults to
+        :func:`code_fingerprint`; tests override it to simulate a code
+        change invalidating the cache.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, fingerprint: Optional[str] = None):
+        self.root = Path(root)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+
+    def key(self, token: dict) -> str:
+        """Content hash of (*token*, code fingerprint, format version)."""
+        payload = canonical_json(
+            {"token": token, "code": self.fingerprint, "version": CACHE_VERSION}
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a corrupted entry is a miss and is removed."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # truncated/garbled entry: drop it so the slot can be rebuilt
+            self.errors += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist *value* under *key*."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _entries(self):
+        """Paths of all persisted results (layout knowledge lives here)."""
+        return self.root.glob("*/*.pkl") if self.root.is_dir() else iter(())
+
+    def _orphans(self):
+        """``*.tmp`` droppings a hard-killed writer may have left behind."""
+        return self.root.glob("*/*.tmp") if self.root.is_dir() else iter(())
+
+    def stats(self) -> dict:
+        """``{"entries", "orphans", "bytes"}`` counts for the cache dir.
+
+        Tolerates files vanishing between the listing and the ``stat`` —
+        a concurrent sweep replaces its temp files and ``cache clear``
+        unlinks entries while this walks.
+        """
+        entries = list(self._entries())
+        orphans = list(self._orphans())
+        total = 0
+        for p in entries + orphans:
+            try:
+                total += p.stat().st_size
+            except OSError:
+                pass
+        return {"entries": len(entries), "orphans": len(orphans), "bytes": total}
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of results removed.
+
+        Also sweeps orphaned temp files (those don't count toward the
+        return value).
+        """
+        removed = 0
+        for entry in self._entries():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for orphan in self._orphans():
+            try:
+                orphan.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, errors={self.errors})"
+        )

@@ -1,0 +1,158 @@
+"""Parallel sweep execution with cached, order-preserving results.
+
+:class:`ParallelRunner` takes a :class:`~repro.runner.spec.SweepSpec` (or an
+explicit job list), satisfies whatever it can from the
+:class:`~repro.runner.cache.ResultCache`, fans the remaining jobs out over a
+``multiprocessing`` pool, and returns results in job order.
+
+Determinism
+-----------
+Jobs carry their own seeds (trace seed inside the frozen config, cross-
+traffic selection seed in ``run_seed``), and the simulator consumes no
+global randomness, so a job's result is a pure function of its descriptor.
+The serial fallback (``jobs=1``) calls the *same* job function in-process —
+its results are byte-identical to the parallel path's, which the
+determinism suite asserts.
+
+Worker strategy
+---------------
+With the (default, where available) ``fork`` start method the runner first
+*prewarms* each distinct workload in the parent — generating the packet
+traces once — so forked children inherit them copy-on-write instead of
+regenerating ~10⁶ packets per process.  Under ``spawn`` the prewarm is
+skipped and each worker builds its own traces on first use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, List, Optional, Sequence, Union
+
+from .cache import ResultCache
+from .spec import SweepSpec
+
+__all__ = ["ParallelRunner"]
+
+
+def _execute(job) -> Any:
+    """Top-level worker entry point (must be picklable)."""
+    return job.run()
+
+
+def _execute_indexed(indexed_job) -> Any:
+    """Worker entry point carrying the job's index through the pool."""
+    index, job = indexed_job
+    return index, job.run()
+
+
+class ParallelRunner:
+    """Run sweep jobs over *jobs* worker processes with result caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` (default) runs everything serially
+        in-process with identical results.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely and
+        fresh results are persisted, so interrupted sweeps resume where
+        they stopped.
+    mp_context:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); defaults to ``fork`` where available.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        mp_context: Optional[str] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.mp_context = mp_context
+        self.executed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, spec_or_jobs: Union[SweepSpec, Sequence]) -> List[Any]:
+        """Execute a sweep; returns one result per job, in job order."""
+        if isinstance(spec_or_jobs, SweepSpec):
+            job_list = spec_or_jobs.jobs()
+        else:
+            job_list = list(spec_or_jobs)
+        results: List[Any] = [None] * len(job_list)
+        keys: List[Optional[str]] = [None] * len(job_list)
+        pending: List[int] = []
+        for i, job in enumerate(job_list):
+            if self.cache is not None:
+                keys[i] = self.cache.key(job.cache_token())
+                hit, value = self.cache.get(keys[i])
+                if hit:
+                    results[i] = value
+                    self.cache_hits += 1
+                    continue
+            pending.append(i)
+
+        if pending:
+            # persist each result the moment it completes (completion
+            # order, not job order), so an interrupted sweep loses only
+            # its in-flight jobs; the returned list is still job-ordered
+            pending_jobs = [job_list[i] for i in pending]
+            for local_i, value in self._iter_execute(pending_jobs):
+                i = pending[local_i]
+                results[i] = value
+                if self.cache is not None:
+                    self.cache.put(keys[i], value)
+                self.executed += 1
+        return results
+
+    def run_one(self, job) -> Any:
+        """Convenience: run a single job through the same cache path."""
+        return self.run([job])[0]
+
+    # ------------------------------------------------------------------
+
+    def _iter_execute(self, jobs: Sequence):
+        """Yield ``(index, result)`` pairs as each job completes.
+
+        Serial execution yields in job order; parallel execution yields in
+        *completion* order (``imap_unordered``) so a slow or crashed job
+        can't hold finished results back from the cache.
+        """
+        if self.jobs <= 1 or len(jobs) <= 1:
+            for index, job in enumerate(jobs):
+                yield index, _execute(job)
+            return
+        method = self.mp_context
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(method)
+        if method == "fork":
+            # build shared workloads pre-fork so children inherit the traces
+            prepared = set()
+            for job in jobs:
+                prepare = getattr(job, "prepare", None)
+                workload_key = getattr(job, "config", None)
+                if prepare is not None and workload_key not in prepared:
+                    prepare()
+                    if workload_key is not None:
+                        prepared.add(workload_key)
+        processes = min(self.jobs, len(jobs))
+        with ctx.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(
+                _execute_indexed, list(enumerate(jobs)), chunksize=1
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelRunner(jobs={self.jobs}, cache={self.cache!r}, "
+            f"executed={self.executed}, cache_hits={self.cache_hits})"
+        )

@@ -70,7 +70,15 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> None:
-        """Process events until the calendar drains (or past *until*)."""
+        """Process events until the calendar drains (or past *until*).
+
+        With ``until`` given, the clock always advances to ``until`` when
+        the loop exits — even if the calendar still holds later events or
+        drained early — so simulated time never moves backwards: a
+        subsequent :meth:`schedule_arrival` earlier than ``until`` is
+        rejected as scheduling in the past rather than slipping in between
+        already-processed events out of order.
+        """
         heap = self._heap
         while heap:
             time, _seq, switch, packet, in_port = heap[0]
@@ -89,6 +97,8 @@ class Engine:
                 self.schedule_arrival(departure + port.prop_delay, port.neighbor, packet)
             else:
                 self.delivered += 1
+        if until is not None and until > self.now:
+            self.now = until
 
     def pending(self) -> int:
         """Number of events still in the calendar."""

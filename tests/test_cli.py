@@ -13,12 +13,21 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("generate-trace", "trace-info", "convert", "fig4a",
-                        "fig4b", "fig4c", "fig5", "placement", "localize"):
+                        "fig4b", "fig4c", "fig5", "placement", "localize",
+                        "cache"):
             # smallest valid invocation parses
             args = {"generate-trace": [command, "--out", "x.npz"],
                     "trace-info": [command, "x.npz"],
-                    "convert": [command, "a.npz", "b.csv"]}.get(command, [command])
+                    "convert": [command, "a.npz", "b.csv"],
+                    "cache": [command, "info"]}.get(command, [command])
             assert parser.parse_args(args).command == command
+
+    def test_runner_flags_on_experiment_subcommands(self):
+        parser = build_parser()
+        for command in ("fig4a", "fig4b", "fig4c", "fig5", "placement"):
+            args = parser.parse_args([command, "--jobs", "4", "--no-cache"])
+            assert args.jobs == 4
+            assert args.no_cache is True
 
 
 class TestTraceCommands:
@@ -50,25 +59,29 @@ class TestTraceCommands:
 
 
 class TestAnalysisCommands:
-    def test_placement(self, capsys):
+    def test_placement(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # default .repro-cache lands here
         assert main(["placement", "--k", "4", "8"]) == 0
         out = capsys.readouterr().out
         assert "ToR pair" in out
         assert "4480" in out  # full deployment at k=8
 
-    def test_fig4a_tiny(self, capsys, monkeypatch):
+    def test_fig4a_tiny(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_SCALE", "0.01")
+        monkeypatch.chdir(tmp_path)  # default .repro-cache lands here
         assert main(["fig4a", "--no-plot"]) == 0
         out = capsys.readouterr().out
         assert "adaptive, 93%" in out
 
-    def test_fig5_tiny(self, capsys, monkeypatch):
+    def test_fig5_tiny(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_SCALE", "0.01")
+        monkeypatch.chdir(tmp_path)
         assert main(["fig5", "--seeds", "1", "--no-plot"]) == 0
         assert "adaptive diff" in capsys.readouterr().out
 
-    def test_fig4c_with_plot(self, capsys, monkeypatch):
+    def test_fig4c_with_plot(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_SCALE", "0.01")
+        monkeypatch.chdir(tmp_path)
         assert main(["fig4c"]) == 0
         out = capsys.readouterr().out
         assert "relative error (log)" in out  # the ascii plot rendered
@@ -78,14 +91,46 @@ class TestAnalysisCommands:
         out = capsys.readouterr().out
         assert "culprit" in out
 
+    def test_fig4a_parallel_cached_rerun_matches(self, capsys, monkeypatch,
+                                                 tmp_path):
+        """--jobs 2 and a cached re-run print the exact same table."""
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        cache_dir = str(tmp_path / "cache")
+        argv = ["fig4a", "--no-plot", "--jobs", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # now answered from the cache
+        assert capsys.readouterr().out == first
+        assert main(["fig4a", "--no-plot", "--cache-dir", cache_dir]) == 0
+        assert capsys.readouterr().out == first  # serial path identical
+
+    def test_cache_info_and_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        cache_dir = str(tmp_path / "cache")
+        main(["placement", "--k", "4", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:   1" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
 
 class TestModuleInvocation:
-    def test_python_dash_m_repro(self):
+    def test_python_dash_m_repro(self, tmp_path):
+        import os
+        import pathlib
         import subprocess
         import sys
 
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(pathlib.Path(repro.__file__).resolve().parent.parent)]
+            + sys.path)  # absolute: the child runs from tmp_path
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "placement", "--k", "4"],
-            capture_output=True, text=True, timeout=120)
+            capture_output=True, text=True, timeout=120,
+            cwd=tmp_path, env=env)  # default .repro-cache lands here
         assert proc.returncode == 0
         assert "ToR pair" in proc.stdout

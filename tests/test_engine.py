@@ -74,6 +74,40 @@ class TestEngine:
         engine.run(until=1.0)
         assert engine.pending() == 1
 
+    def test_run_until_advances_clock_with_pending_events(self, fattree4):
+        """run(until=) must advance the clock to `until` even when the
+        calendar isn't drained, so a later schedule_arrival between the
+        last processed event and `until` is rejected as in the past
+        instead of being processed out of order."""
+        ft = fattree4
+        engine = Engine()
+        engine.schedule_arrival(0.0, ft.edges[0][0], interpod_packet(ft))
+        engine.schedule_arrival(10.0, ft.edges[0][0], interpod_packet(ft, sport=2))
+        engine.run(until=1.0)
+        assert engine.now == 1.0
+        with pytest.raises(ValueError):
+            engine.schedule_arrival(0.5, ft.edges[0][0], interpod_packet(ft, sport=3))
+        # scheduling at or after `until` is still fine
+        engine.schedule_arrival(1.0, ft.edges[0][0], interpod_packet(ft, sport=4))
+
+    def test_run_until_advances_clock_when_drained(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        engine.schedule_arrival(0.0, ft.edges[0][0], interpod_packet(ft))
+        engine.run(until=2.0)
+        assert engine.pending() == 0
+        assert engine.now == 2.0
+        with pytest.raises(ValueError):
+            engine.schedule_arrival(1.5, ft.edges[0][0], interpod_packet(ft, sport=3))
+
+    def test_run_without_until_keeps_last_event_time(self, fattree4):
+        ft = fattree4
+        engine = Engine()
+        engine.schedule_arrival(0.25, ft.edges[0][0], interpod_packet(ft, ts=0.25))
+        engine.run()
+        # un-bounded run: the clock rests at the last processed event
+        assert 0.25 <= engine.now < 2.0
+
     def test_inject_trace(self, fattree4):
         ft = fattree4
         engine = Engine()

@@ -101,8 +101,8 @@ class TestFig4Shapes:
             "bursty, 67%", "bursty, 34%", "random, 67%", "random, 34%"}
         for c in curves:
             assert len(c.mean_join.errors) > 50
-            assert c.condition.measured_util == pytest.approx(
-                c.condition.target_util, abs=0.08)
+            assert c.summary.measured_util == pytest.approx(
+                c.summary.target_util, abs=0.08)
 
 
 class TestFig5Shape:

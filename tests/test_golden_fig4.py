@@ -1,0 +1,45 @@
+"""Golden regression test: Figure 4(a)/4(b) numbers are frozen.
+
+The summary rows of the four Figure-4(a,b) curves at the golden scale/seed
+are checked in as JSON and asserted for *exact* equality — the simulation
+is bit-deterministic, so any drift means a code change altered the
+reproduction's numbers.  If the change was intentional, regenerate with
+``PYTHONPATH=src python tests/make_golden.py`` and commit the new fixture
+with an explanation; if not, you just caught a silent accuracy shift.
+"""
+
+import json
+
+import pytest
+
+from make_golden import GOLDEN_DIR, GOLDEN_SCALE, GOLDEN_SEED, compute_fig4ab
+
+FIXTURE = GOLDEN_DIR / f"fig4ab_scale{GOLDEN_SCALE}_seed{GOLDEN_SEED}.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_fig4ab()
+
+
+def test_fixture_matches_golden_parameters(golden):
+    assert golden["scale"] == GOLDEN_SCALE
+    assert golden["seed"] == GOLDEN_SEED
+
+
+def test_curve_labels_frozen(golden, current):
+    assert [c["label"] for c in current["curves"]] == \
+        [c["label"] for c in golden["curves"]]
+
+
+def test_summary_rows_exactly_match(golden, current):
+    for got, want in zip(current["curves"], golden["curves"]):
+        assert got["row"] == want["row"], (
+            f"{want['label']}: reproduction numbers shifted — if intentional, "
+            f"regenerate tests/golden/ via tests/make_golden.py"
+        )

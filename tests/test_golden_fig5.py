@@ -1,0 +1,50 @@
+"""Golden regression test: Figure 5 numbers are frozen.
+
+Every Figure-5 row (measured utilization, loss rates, reference counts) at
+the golden scale/seed must match the checked-in fixture bit-for-bit; see
+``tests/make_golden.py`` for the regeneration policy.
+"""
+
+import json
+
+import pytest
+
+from make_golden import (
+    GOLDEN_DIR,
+    GOLDEN_FIG5_SEEDS,
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    compute_fig5,
+)
+
+FIXTURE = GOLDEN_DIR / f"fig5_scale{GOLDEN_SCALE}_seed{GOLDEN_SEED}.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return compute_fig5()
+
+
+def test_fixture_matches_golden_parameters(golden):
+    assert golden["scale"] == GOLDEN_SCALE
+    assert golden["seed"] == GOLDEN_SEED
+    assert golden["n_seeds"] == GOLDEN_FIG5_SEEDS
+
+
+def test_row_count_frozen(golden, current):
+    assert len(current["rows"]) == len(golden["rows"])
+
+
+def test_rows_exactly_match(golden, current):
+    for got, want in zip(current["rows"], golden["rows"]):
+        # exact float equality is intentional: the simulator is
+        # bit-deterministic, so any drift is a real behavior change
+        assert got == want, (
+            f"fig5 row at target_util={want['target_util']} shifted — if "
+            f"intentional, regenerate tests/golden/ via tests/make_golden.py"
+        )

@@ -61,12 +61,21 @@ class TestP2Quantile:
     @settings(max_examples=30)
     @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
                     min_size=20, max_size=300, unique=True),
-           st.sampled_from([0.25, 0.5, 0.9]))
-    def test_rank_error_bounded(self, values, q):
+           st.sampled_from([0.25, 0.5, 0.9]),
+           st.randoms(use_true_random=False))
+    def test_rank_error_bounded(self, values, q, rng):
         """The P² estimate's rank in the sorted data is near q (a standard
-        correctness criterion for streaming quantile sketches).  Distinct
-        values only: with heavy ties P²'s parabolic interpolation can land
-        in empty gaps, where rank is ill-defined."""
+        correctness criterion for streaming quantile sketches).
+
+        The value *set* is adversarial but the arrival order is randomized:
+        like any constant-memory sketch (markers move at most one rank per
+        sample), P² has no worst-case guarantee under adversarial
+        *orderings* — e.g. feeding the 25 largest values first leaves the
+        markers stranded — and its classical analysis assumes exchangeable
+        streams.  Within the warm-up buffer the estimate is exact by
+        construction.  Distinct values only: with heavy ties the estimate
+        can land in empty gaps, where rank is ill-defined."""
+        rng.shuffle(values)
         est = P2Quantile(q)
         for v in values:
             est.add(v)
@@ -75,10 +84,26 @@ class TestP2Quantile:
 
         # with duplicates the estimate covers a rank *interval*; require the
         # target quantile to lie near that interval (loose bound: P² on
-        # tiny adversarial inputs)
+        # small streams)
         lo = bisect.bisect_left(ordered, est.estimate) / len(ordered)
         hi = bisect.bisect_right(ordered, est.estimate) / len(ordered)
         assert lo - 0.35 <= q <= hi + 0.35
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                    min_size=1, max_size=P2Quantile.WARMUP, unique=True),
+           st.sampled_from([0.25, 0.5, 0.9, 0.99]))
+    def test_exact_within_warmup(self, values, q):
+        """Any stream that fits the warm-up buffer is answered exactly,
+        regardless of arrival order."""
+        est = P2Quantile(q)
+        for v in values:
+            est.add(v)
+        ordered = sorted(values)
+        import math
+
+        index = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+        assert est.estimate == ordered[index]
 
 
 class TestFlowQuantileTable:

@@ -1,0 +1,204 @@
+"""Correctness of the content-addressed result cache.
+
+Covers the contract ``repro.runner`` relies on: a key is a pure function of
+(job token, code fingerprint, format version); hits skip execution;
+changing any config knob, any seed, or the code fingerprint misses; and a
+corrupted on-disk entry degrades to a miss instead of poisoning a sweep.
+"""
+
+import pickle
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.runner import JobSpec, ParallelRunner, ResultCache
+from repro.runner.cache import CACHE_VERSION, canonical_json, code_fingerprint
+
+
+@dataclass
+class CountingJob:
+    """A trivially cheap job that records how often it actually ran."""
+
+    token: str
+    runs: list = field(default_factory=list)
+
+    def cache_token(self):
+        return {"kind": "counting", "token": self.token}
+
+    def run(self):
+        self.runs.append(1)
+        return f"result:{self.token}"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+class TestKeying:
+    def test_key_is_stable(self, cache):
+        token = {"a": 1, "b": [1, 2]}
+        assert cache.key(token) == cache.key({"b": [1, 2], "a": 1})
+
+    def test_key_changes_with_token(self, cache):
+        assert cache.key({"seed": 1}) != cache.key({"seed": 2})
+
+    def test_key_changes_with_code_fingerprint(self, tmp_path):
+        a = ResultCache(root=tmp_path, fingerprint="aaaa")
+        b = ResultCache(root=tmp_path, fingerprint="bbbb")
+        assert a.key({"x": 1}) != b.key({"x": 1})
+
+    def test_condition_key_covers_config_and_seeds(self, cache):
+        cfg = ExperimentConfig(scale=0.01, seed=7)
+        base = cache.key(JobSpec.from_config(cfg, "static", "random", 0.93).cache_token())
+        # different condition axis
+        assert base != cache.key(
+            JobSpec.from_config(cfg, "adaptive", "random", 0.93).cache_token())
+        # different per-run seed
+        assert base != cache.key(
+            JobSpec.from_config(cfg, "static", "random", 0.93, run_seed=1).cache_token())
+        # different trace seed
+        cfg2 = ExperimentConfig(scale=0.01, seed=8)
+        assert base != cache.key(
+            JobSpec.from_config(cfg2, "static", "random", 0.93).cache_token())
+        # any mutated config knob
+        cfg3 = ExperimentConfig(scale=0.01, seed=7)
+        cfg3.buffer_bytes *= 2
+        assert base != cache.key(
+            JobSpec.from_config(cfg3, "static", "random", 0.93).cache_token())
+
+    def test_canonical_json_rejects_unserializable(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_code_fingerprint_is_memoized_hex(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+        int(code_fingerprint(), 16)  # valid hex
+
+
+class TestHitMiss:
+    def test_roundtrip(self, cache):
+        key = cache.key({"x": 1})
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"value": 42})
+        hit, value = cache.get(key)
+        assert hit
+        assert value == {"value": 42}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_runner_skips_execution_on_hit(self, cache):
+        job = CountingJob("a")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        assert runner.run([job]) == ["result:a"]
+        assert runner.run([job]) == ["result:a"]
+        assert len(job.runs) == 1  # second run served from cache
+        assert runner.cache_hits == 1
+
+    def test_runner_mixes_hits_and_misses_in_order(self, cache):
+        a, b = CountingJob("a"), CountingJob("b")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run([a])
+        assert runner.run([a, b]) == ["result:a", "result:b"]
+        assert len(a.runs) == 1
+        assert len(b.runs) == 1
+
+    def test_no_cache_always_executes(self):
+        job = CountingJob("a")
+        runner = ParallelRunner(jobs=1, cache=None)
+        runner.run([job])
+        runner.run([job])
+        assert len(job.runs) == 2
+
+    def test_interrupted_sweep_persists_completed_jobs(self, cache):
+        """Results are written as they complete, so a sweep killed midway
+        resumes from its last finished job instead of starting over."""
+
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingJob(CountingJob):
+            def run(self):
+                raise Boom()
+
+        done, crash = CountingJob("a"), ExplodingJob("b")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        with pytest.raises(Boom):
+            runner.run([done, crash])
+        # the completed job's result survived the crash...
+        assert cache.get(cache.key(done.cache_token())) == (True, "result:a")
+        # ...so the retry skips it and only runs the rest
+        retry_done, retry_crash = CountingJob("a"), CountingJob("b")
+        assert runner.run([retry_done, retry_crash]) == ["result:a", "result:b"]
+        assert retry_done.runs == []  # cache hit, never executed
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        job = CountingJob("a")
+        old = ParallelRunner(cache=ResultCache(tmp_path, fingerprint="v1"))
+        new = ParallelRunner(cache=ResultCache(tmp_path, fingerprint="v2"))
+        old.run([job])
+        new.run([job])
+        assert len(job.runs) == 2  # code changed: no stale hit
+
+
+class TestCorruption:
+    def test_corrupted_entry_is_a_miss_and_removed(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, "fine")
+        path = cache.path_for(key)
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+        hit, value = cache.get(key)
+        assert not hit
+        assert value is None
+        assert cache.errors == 1
+        assert not path.exists()  # corrupt entry dropped
+        # the slot is rebuildable afterwards
+        cache.put(key, "fine")
+        assert cache.get(key) == (True, "fine")
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        key = cache.key({"x": 2})
+        cache.put(key, list(range(1000)))
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:10])  # simulate a torn write
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_runner_recomputes_after_corruption(self, cache):
+        job = CountingJob("a")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run([job])
+        key = cache.key(job.cache_token())
+        cache.path_for(key).write_bytes(b"garbage")
+        assert runner.run([job]) == ["result:a"]
+        assert len(job.runs) == 2
+
+
+class TestMaintenance:
+    def test_clear(self, cache):
+        for i in range(3):
+            cache.put(cache.key({"i": i}), i)
+        assert cache.clear() == 3
+        assert cache.get(cache.key({"i": 0}))[0] is False
+
+    def test_clear_sweeps_orphaned_tmp_files(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, "v")
+        orphan = cache.path_for(key).parent / "deadbeef.tmp"
+        orphan.write_bytes(b"partial write from a killed worker")
+        assert cache.clear() == 1  # one real entry...
+        assert not orphan.exists()  # ...and the dropping is gone too
+
+    def test_entries_are_pickle_files_sharded_by_prefix(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, "v")
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.suffix == ".pkl"
+        assert pickle.loads(path.read_bytes()) == "v"
+
+    def test_version_in_key(self, cache):
+        assert CACHE_VERSION == 1  # bump invalidates every entry by design
