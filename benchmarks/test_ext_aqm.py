@@ -11,8 +11,9 @@ from repro.analysis.report import format_table
 from repro.experiments.extensions import run_aqm_comparison
 
 
-def test_ext_aqm(benchmark, bench_config):
+def test_ext_aqm(benchmark, bench_config, bench_runner):
     rows = benchmark.pedantic(run_aqm_comparison, args=(bench_config,),
+                              kwargs={"runner": bench_runner},
                               rounds=1, iterations=1)
 
     print_banner("Extension: tail-drop vs RED bottleneck (95% offered util)")

@@ -14,8 +14,9 @@ from repro.analysis.report import format_table
 from repro.experiments.extensions import run_memory_ablation, run_ptp_study
 
 
-def test_ext_memory_bound(benchmark, bench_config):
+def test_ext_memory_bound(benchmark, bench_config, bench_runner):
     rows = benchmark.pedantic(run_memory_ablation, args=(bench_config,),
+                              kwargs={"runner": bench_runner},
                               rounds=1, iterations=1)
 
     print_banner("Extension: receiver flow-table memory bound (93% util)")
@@ -33,8 +34,9 @@ def test_ext_memory_bound(benchmark, bench_config):
         assert median < 2 * rows[0][3] + 0.05
 
 
-def test_ext_ptp_sync(benchmark):
-    rows = benchmark.pedantic(run_ptp_study, rounds=1, iterations=1)
+def test_ext_ptp_sync(benchmark, bench_runner):
+    rows = benchmark.pedantic(run_ptp_study, kwargs={"runner": bench_runner},
+                              rounds=1, iterations=1)
 
     print_banner("Extension: PTP residual sync error vs path queue jitter")
     print(format_table(

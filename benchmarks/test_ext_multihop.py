@@ -12,9 +12,11 @@ from repro.analysis.report import format_table
 from repro.experiments.extensions import run_multihop_ablation
 
 
-def test_ext_multihop(benchmark, bench_config):
-    rows = benchmark.pedantic(run_multihop_ablation, args=(bench_config,),
-                              rounds=1, iterations=1)
+def test_ext_multihop(benchmark, bench_config, bench_runner, bench_shards):
+    rows = benchmark.pedantic(
+        run_multihop_ablation, args=(bench_config,),
+        kwargs={"runner": bench_runner, "shards": bench_shards},
+        rounds=1, iterations=1)
 
     print_banner("Extension: accuracy vs measured-segment length (80% util/hop)")
     print(format_table(

@@ -14,8 +14,9 @@ from repro.experiments.config import default_scale
 from repro.experiments.extensions import run_mesh_study, run_tail_accuracy
 
 
-def test_ext_tail_quantiles(benchmark, bench_config):
+def test_ext_tail_quantiles(benchmark, bench_config, bench_runner):
     results = benchmark.pedantic(run_tail_accuracy, args=(bench_config,),
+                                 kwargs={"runner": bench_runner},
                                  rounds=1, iterations=1)
 
     print_banner("Extension: per-flow tail-quantile accuracy (93% util, "
@@ -32,10 +33,11 @@ def test_ext_tail_quantiles(benchmark, bench_config):
     assert results[0.99].median < 0.6
 
 
-def test_ext_mesh(benchmark):
+def test_ext_mesh(benchmark, bench_runner):
     n = max(5000, int(15_000 * default_scale()))
     rows = benchmark.pedantic(run_mesh_study,
-                              kwargs={"n_packets_per_pair": n},
+                              kwargs={"n_packets_per_pair": n,
+                                      "runner": bench_runner},
                               rounds=1, iterations=1)
 
     print_banner("Extension: shared-core RLIR mesh, three ToR pairs at once")

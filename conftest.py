@@ -30,6 +30,9 @@ def pytest_addoption(parser):
                     help="disable the on-disk sweep result cache")
     group.addoption("--cache-dir", default=None,
                     help="sweep result cache directory (default: .repro-cache)")
+    group.addoption("--shards", type=_positive_int, default=1,
+                    help="flow shards per condition for benches whose "
+                         "studies support within-condition sharding")
 
 
 def pytest_configure(config):

@@ -7,7 +7,8 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir convert regular.npz regular.csv
     repro-rlir fig4a [--scale 0.1] [--jobs 4]   # likewise fig4b/fig4c/fig5
     repro-rlir placement --k 4 8 16
-    repro-rlir localize [--demux reverse-ecmp]
+    repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4]
+    repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4]
     repro-rlir cache info|clear
 
 Experiment subcommands print the same rows/series the paper's figures plot
@@ -15,7 +16,10 @@ Experiment subcommands print the same rows/series the paper's figures plot
 sweeps run through :mod:`repro.runner`: ``--jobs N`` fans conditions out
 over N worker processes, and results are memoized under ``.repro-cache/``
 (keyed by config, code version, and seeds) unless ``--no-cache`` is given —
-a repeated invocation answers from the cache in milliseconds.
+a repeated invocation answers from the cache in milliseconds.  For the
+``extensions`` and ``localize`` studies ``--shards S`` additionally splits
+each condition's per-flow estimation over S flow shards with bitwise
+identical output (see ``repro.core.replay``).
 """
 
 from __future__ import annotations
@@ -78,10 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default: .repro-cache)")
 
+    ext = sub.add_parser("extensions", help="run the extension studies")
+    ext.add_argument("studies", nargs="*", default=[], metavar="STUDY",
+                     help=f"studies to run (default: all of "
+                          f"{', '.join(EXTENSION_STUDIES)})")
+    ext.add_argument("--scale", type=float, default=None,
+                     help="workload scale (default: REPRO_SCALE or 1.0)")
+    ext.add_argument("--seed", type=int, default=42,
+                     help="trace seed for pipeline-based studies")
+    ext.add_argument("--run-seed", type=int, default=0,
+                     help="base seed for per-run random streams")
+    _add_runner_flags(ext, shards=True)
+
     loc = sub.add_parser("localize", help="run the RLIR localization demo")
     loc.add_argument("--demux", choices=["marking", "reverse-ecmp"],
                      default="reverse-ecmp")
     loc.add_argument("--packets", type=int, default=20_000)
+    loc.add_argument("--run-seed", type=int, default=0,
+                     help="base seed for the scenario's traces")
+    _add_runner_flags(loc, shards=True)
 
     return parser
 
@@ -93,7 +112,12 @@ def _positive_int(raw: str) -> int:
     return value
 
 
-def _add_runner_flags(p: argparse.ArgumentParser) -> None:
+# selectable study names; per-study dispatch lives in _cmd_extensions
+EXTENSION_STUDIES = ("multihop", "granularity", "memory", "ptp", "tail",
+                     "mesh", "aqm")
+
+
+def _add_runner_flags(p: argparse.ArgumentParser, shards: bool = False) -> None:
     """Sweep-runner knobs shared by every experiment subcommand."""
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes for the condition sweep (default 1)")
@@ -101,6 +125,10 @@ def _add_runner_flags(p: argparse.ArgumentParser) -> None:
                    help="skip the on-disk result cache")
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: .repro-cache)")
+    if shards:
+        p.add_argument("--shards", type=_positive_int, default=1,
+                       help="flow shards per condition for the studies that "
+                            "support within-condition sharding (default 1)")
 
 
 # ----------------------------------------------------------------------
@@ -253,33 +281,95 @@ def _cmd_placement(args) -> int:
 
 def _cmd_localize(args) -> int:
     from .analysis.report import format_table, us
-    from .core.injection import StaticInjection
-    from .core.localization import localize
-    from .core.rlir import RlirDeployment
-    from .sim.topology import FatTree, LinkParams
-    from .traffic.synthetic import TraceConfig, generate_fattree_trace
+    from .experiments.extensions import run_localization_study
 
-    ft = FatTree(4, LinkParams(rate_bps=100e6, buffer_bytes=256 * 1024))
-    measured_pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
-                      for h in range(2) for g in range(2)]
-    incast_pairs = [(ft.host_address(p, e, h), ft.host_address(1, 0, g))
-                    for p in (2, 3) for e in range(2) for h in range(2)
-                    for g in range(2)]
-    measured = generate_fattree_trace(
-        TraceConfig(duration=1.0, n_packets=args.packets), measured_pairs, seed=1)
-    incast = generate_fattree_trace(
-        TraceConfig(duration=1.0, n_packets=3 * args.packets), incast_pairs, seed=2)
-    deployment = RlirDeployment(ft, src=(0, 0), dst=(1, 0),
-                                policy_factory=lambda: StaticInjection(50),
-                                demux_method=args.demux)
-    result = deployment.run([measured, incast])
-    report = localize(result.segments(), factor=3.0, floor=5e-6, min_samples=20)
+    report = run_localization_study(
+        n_packets=args.packets,
+        demux_method=args.demux,
+        runner=_make_runner(args),
+        shards=args.shards,
+        run_seed=args.run_seed,
+    )
     print(format_table(
         ["segment", "mean latency", "flows", "anomalous?"],
         [[s.name, us(s.mean), s.n_flows,
           "YES" if s.name in report.anomalous else ""] for s in report.summaries],
     ))
     print(f"\nculprit: {report.culprit}")
+    return 0
+
+
+def _cmd_extensions(args) -> int:
+    from .analysis.report import format_table
+    from .experiments.config import ExperimentConfig
+    from .experiments import extensions as ext
+
+    studies = list(args.studies) or list(EXTENSION_STUDIES)
+    unknown = sorted(set(studies) - set(EXTENSION_STUDIES))
+    if unknown:
+        print(f"unknown studies: {', '.join(unknown)} "
+              f"(choose from {', '.join(EXTENSION_STUDIES)})", file=sys.stderr)
+        return 2
+    cfg = ExperimentConfig(scale=args.scale, seed=args.seed)
+    scale = cfg.scale
+    runner = _make_runner(args)
+    seed = args.run_seed
+
+    def banner(title):
+        print(f"\n== {title} ==")
+
+    if "multihop" in studies:
+        rows = ext.run_multihop_ablation(cfg, runner=runner,
+                                         shards=args.shards, run_seed=seed)
+        banner("multihop: accuracy vs measured-segment length")
+        print(format_table(
+            ["hops", "median RE(mean)", "true mean (us)"],
+            [[h, f"{m:.4f}", f"{lat * 1e6:.1f}"] for h, m, lat in rows]))
+    if "granularity" in studies:
+        rows = ext.run_granularity_comparison(
+            n_packets=max(4000, int(20_000 * scale)), runner=runner,
+            shards=args.shards)
+        banner("granularity: full RLI vs RLIR")
+        print(format_table(
+            ["deployment", "instances", "segments", "culprit", "granularity"],
+            [[r.name, r.instances, r.n_segments, r.culprit,
+              "single queue" if r.pinned_to_single_queue else "segment"]
+             for r in rows]))
+    if "memory" in studies:
+        rows = ext.run_memory_ablation(cfg, runner=runner, run_seed=seed)
+        banner("memory: receiver flow-table bound")
+        print(format_table(
+            ["max flows", "retained", "evicted samples", "median RE"],
+            [[b if b is not None else "unbounded", kept, ev, f"{m:.4f}"]
+             for b, kept, ev, m in rows]))
+    if "ptp" in studies:
+        rows = ext.run_ptp_study(runner=runner, run_seed=seed)
+        banner("ptp: residual sync error vs path jitter")
+        print(format_table(
+            ["jitter (us)", "mean |residual| (us)"],
+            [[f"{j * 1e6:.1f}", f"{r * 1e6:.3f}"] for j, r in rows]))
+    if "tail" in studies:
+        results = ext.run_tail_accuracy(cfg, runner=runner, run_seed=seed)
+        banner("tail: per-flow quantile accuracy")
+        print(format_table(
+            ["quantile", "flows", "median RE"],
+            [[f"p{int(q * 100)}", len(e), f"{e.median:.4f}"]
+             for q, e in sorted(results.items())]))
+    if "mesh" in studies:
+        rows = ext.run_mesh_study(
+            n_packets_per_pair=max(5000, int(15_000 * scale)),
+            runner=runner, run_seed=seed)
+        banner("mesh: shared-core RLIR, three ToR pairs")
+        print(format_table(
+            ["pair", "flows (seg2)", "seg2 median RE", "e2e median RE"],
+            [[pair, flows, f"{s2:.4f}", f"{e2:.4f}"]
+             for pair, flows, s2, e2 in rows]))
+    if "aqm" in studies:
+        rows = ext.run_aqm_comparison(cfg, runner=runner, run_seed=seed)
+        banner("aqm: tail-drop vs RED bottleneck")
+        print(format_table(
+            ["discipline", "regular loss", "median RE", "ref drops"],
+            [[n, f"{loss:.5f}", f"{m:.4f}", d] for n, loss, m, d in rows]))
     return 0
 
 
@@ -310,6 +400,7 @@ _COMMANDS = {
     "fig4c": _cmd_fig4c,
     "fig5": _cmd_fig5,
     "placement": _cmd_placement,
+    "extensions": _cmd_extensions,
     "localize": _cmd_localize,
     "cache": _cmd_cache,
 }

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 __all__ = ["StreamingStats", "FlowStatsTable", "BoundedFlowStatsTable"]
 
@@ -84,6 +84,17 @@ class FlowStatsTable:
 
     def __init__(self) -> None:
         self._table: Dict[Key, StreamingStats] = {}
+
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[Key, StreamingStats]]) -> "FlowStatsTable":
+        """A table holding *items* in the given iteration order.
+
+        Used by the shard-merge path to rebuild tables in sorted-key order,
+        so a merged table's layout is independent of shard completion order.
+        """
+        table = cls()
+        table._table = dict(items)
+        return table
 
     def add(self, key: Key, value: float) -> None:
         stats = self._table.get(key)

@@ -80,6 +80,7 @@ class FullRliDeployment:
         policy_factory: Callable[[], InjectionPolicy] = lambda: StaticInjection(100),
         estimator: str = "linear",
         clock_factory: Optional[Callable[[], Clock]] = None,
+        record_observations: bool = False,
     ):
         if src == dst:
             raise ValueError("source and destination ToR must differ")
@@ -91,6 +92,7 @@ class FullRliDeployment:
         self.policy_factory = policy_factory
         self.estimator = estimator
         self.clock_factory = clock_factory or PerfectClock
+        self.record_observations = record_observations
         self.engine: Optional[Engine] = None
         self.receivers: Dict[str, RliReceiver] = {}
         self.senders: Dict[str, RliSender] = {}
@@ -254,9 +256,17 @@ class FullRliDeployment:
         port.add_enqueue_tap(tap)
         return sender
 
+    def observation_logs(self) -> List[Tuple[str, list]]:
+        """(segment name, recorded events) per receiver (after a run)."""
+        if not self.record_observations:
+            raise RuntimeError("deployment built without record_observations")
+        return [(name, rx.observation_log) for name, rx in self.receivers.items()]
+
     def _attach_receiver(self, switch: Switch, name: str, demux) -> RliReceiver:
         receiver = RliReceiver(demux=demux, clock=self.clock_factory(),
-                               estimator=self.estimator)
+                               estimator=self.estimator,
+                               observation_log=[] if self.record_observations else None,
+                               record_only=self.record_observations)
 
         def tap(packet: Packet, now: float, in_port: int) -> None:
             if packet.is_regular or packet.is_reference:

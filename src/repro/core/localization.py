@@ -70,6 +70,18 @@ class LocalizationReport:
         """The worst anomalous segment, if any."""
         return self.anomalous[0] if self.anomalous else None
 
+    def as_rows(self) -> List[Tuple[str, float, int, int, bool]]:
+        """(name, mean, flows, samples, anomalous?) per segment, worst first.
+
+        Plain tuples: picklable across worker processes, cacheable on disk,
+        and byte-comparable by the determinism suite — the report's live
+        accumulators are not part of the value.
+        """
+        return [
+            (s.name, s.mean, s.n_flows, s.samples, s.name in self.anomalous)
+            for s in self.summaries
+        ]
+
     def __repr__(self) -> str:
         return f"LocalizationReport(culprit={self.culprit!r}, anomalous={self.anomalous})"
 

@@ -29,7 +29,11 @@ from .flowstats import BoundedFlowStatsTable, FlowStatsTable
 from .interpolation import Estimate, InterpolationBuffer
 from .quantiles import FlowQuantileTable
 
-__all__ = ["RliReceiver"]
+__all__ = ["RliReceiver", "REF_OBS", "REG_OBS"]
+
+# observation-log event tags (see repro.core.replay)
+REF_OBS = 0  # (REF_OBS, stream, arrival, reference delay)
+REG_OBS = 1  # (REG_OBS, stream, arrival, flow key, true delay)
 
 
 class RliReceiver:
@@ -58,6 +62,18 @@ class RliReceiver:
         quantile estimates of both estimated and true delays
         (:attr:`flow_estimated_quantiles` / :attr:`flow_true_quantiles`) —
         the tail view mean/σ cannot give.
+    observation_log:
+        Optional list the receiver appends its post-demux observation
+        events to (see :mod:`repro.core.replay`).  A recorded log can be
+        replayed — in full or restricted to one flow shard — to rebuild
+        this receiver's per-flow tables without re-running the simulation;
+        the within-condition sharding of the sweep runner is built on it.
+    record_only:
+        With an ``observation_log``, skip the live estimation work
+        (interpolation buffers and flow tables stay empty): the log is the
+        only output, and replaying it would recompute every estimate
+        anyway.  Demux classification, clocking, and the tap/measurement
+        accounting are unchanged, so the log is identical either way.
     """
 
     def __init__(
@@ -68,8 +84,14 @@ class RliReceiver:
         collect_estimates: bool = False,
         max_flows: Optional[int] = None,
         quantiles: Optional[Sequence[float]] = None,
+        observation_log: Optional[list] = None,
+        record_only: bool = False,
     ):
+        if record_only and observation_log is None:
+            raise ValueError("record_only requires an observation_log")
         self.demux = demux
+        self.observation_log = observation_log
+        self.record_only = record_only
         self.clock = clock or PerfectClock()
         self.estimator = estimator
         self.collect_estimates = collect_estimates
@@ -107,6 +129,10 @@ class RliReceiver:
                 return
             self.references_accepted += 1
             delay = self.clock.now(now) - packet.ref_timestamp
+            if self.observation_log is not None:
+                self.observation_log.append((REF_OBS, stream, now, delay))
+                if self.record_only:
+                    return
             for estimate in self._buffer(stream).add_reference(now, delay):
                 self._record(estimate)
         elif packet.is_regular:
@@ -121,6 +147,11 @@ class RliReceiver:
                 return
             self.regulars_measured += 1
             truth = now - packet.tap_time
+            if self.observation_log is not None:
+                self.observation_log.append(
+                    (REG_OBS, stream, now, packet.flow_key, truth))
+                if self.record_only:
+                    return
             self.flow_true.add(packet.flow_key, truth)
             if self.flow_true_quantiles is not None:
                 self.flow_true_quantiles.add(packet.flow_key, truth)

@@ -127,6 +127,13 @@ class RlirDeployment:
         Interpolation strategy for all receivers.
     clock_factory:
         Builds the clock of each instance (default: perfect sync).
+    record_observations:
+        When True every receiver records its post-demux observation stream
+        (see :mod:`repro.core.replay`); :meth:`observation_logs` returns the
+        logs under the same segment names :meth:`RlirResult.segments` uses,
+        so one recorded run can be replayed shard-by-shard.  Recording
+        receivers run record-only — their live tables stay empty, since
+        replay recomputes every estimate from the log.
     """
 
     def __init__(
@@ -138,6 +145,7 @@ class RlirDeployment:
         demux_method: str = "marking",
         estimator: str = "linear",
         clock_factory: Optional[Callable[[], Clock]] = None,
+        record_observations: bool = False,
     ):
         if demux_method not in ("marking", "reverse-ecmp"):
             raise ValueError(f"demux_method must be 'marking' or 'reverse-ecmp': {demux_method}")
@@ -155,6 +163,7 @@ class RlirDeployment:
         self.demux_method = demux_method
         self.estimator = estimator
         self.clock_factory = clock_factory or PerfectClock
+        self.record_observations = record_observations
         self.engine: Optional[Engine] = None
 
         self.tor_senders: Dict[int, RliSender] = {}  # uplink -> sender
@@ -238,6 +247,8 @@ class RlirDeployment:
                     demux=UpstreamPrefixDemux([(src_prefix, self.tor_sender_id(i))]),
                     clock=self.clock_factory(),
                     estimator=self.estimator,
+                    observation_log=[] if self.record_observations else None,
+                    record_only=self.record_observations,
                 )
                 self.core_receivers[core.name] = receiver
                 core.add_arrival_tap(self._make_arrival_tap(receiver))
@@ -265,8 +276,21 @@ class RlirDeployment:
             ),
             clock=self.clock_factory(),
             estimator=self.estimator,
+            observation_log=[] if self.record_observations else None,
+            record_only=self.record_observations,
         )
         dst_edge.add_arrival_tap(self._make_arrival_tap(self.dst_receiver))
+
+    def observation_logs(self) -> List[Tuple[str, list]]:
+        """(segment name, recorded events) per receiver (after a run)."""
+        if not self.record_observations:
+            raise RuntimeError("deployment built without record_observations")
+        out = [
+            (f"seg1:{name}", receiver.observation_log)
+            for name, receiver in self.core_receivers.items()
+        ]
+        out.append(("seg2:to-dst-tor", self.dst_receiver.observation_log))
+        return out
 
     # ------------------------------------------------------------------
     # tap factories (closures keep per-instance wiring explicit)

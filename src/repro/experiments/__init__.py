@@ -7,12 +7,16 @@ from .ablations import (
     run_injection_sweep,
     run_sync_error_ablation,
 )
-from .config import ExperimentConfig, default_scale
+from .config import ExperimentConfig, default_scale, derive_seed
 from .extensions import (
+    run_aqm_comparison,
     run_granularity_comparison,
+    run_localization_study,
     run_memory_ablation,
+    run_mesh_study,
     run_multihop_ablation,
     run_ptp_study,
+    run_tail_accuracy,
 )
 from .fig4 import Fig4Curve, run_fig4ab, run_fig4c
 from .fig5 import Fig5Row, run_fig5
@@ -26,16 +30,21 @@ from .workloads import (
 )
 
 __all__ = [
+    "run_aqm_comparison",
     "run_granularity_comparison",
+    "run_localization_study",
     "run_memory_ablation",
+    "run_mesh_study",
     "run_multihop_ablation",
     "run_ptp_study",
+    "run_tail_accuracy",
     "run_baseline_comparison",
     "run_estimator_ablation",
     "run_injection_sweep",
     "run_sync_error_ablation",
     "ExperimentConfig",
     "default_scale",
+    "derive_seed",
     "Fig4Curve",
     "run_fig4ab",
     "run_fig4c",

@@ -10,12 +10,14 @@ adaptive, and cross traffic is calibrated to the same target utilizations).
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 __all__ = [
     "ExperimentConfig",
     "config_from_items",
     "default_scale",
+    "derive_seed",
     "REGULAR_SRC_BASE",
     "CROSS_SRC_BASE",
 ]
@@ -38,6 +40,21 @@ def default_scale() -> float:
     if scale <= 0:
         raise ValueError(f"REPRO_SCALE must be positive: {scale}")
     return scale
+
+
+def derive_seed(base: int, *stream: object) -> int:
+    """A per-stream seed derived from *base* and a stream label.
+
+    Experiments that consume several independent random streams (per-hop
+    cross traffic, RED drop decisions, per-pair mesh traces, PTP noise)
+    must never hand two streams the same generator seed, and arithmetic
+    like ``base + hop`` silently collides across conditions (``base=100,
+    hop=1`` vs ``base=101, hop=0``).  Hashing the (base, label) pair gives
+    every named stream its own stable 63-bit seed, reproducible across
+    processes and Python versions (no ``PYTHONHASHSEED`` dependence).
+    """
+    payload = repr((int(base),) + stream).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") >> 1
 
 
 class ExperimentConfig:

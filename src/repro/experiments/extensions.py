@@ -12,28 +12,45 @@ quantify, each with a bench:
 * :func:`run_memory_ablation` — estimation coverage when receivers bound
   their flow-table memory (hardware reality for 1.45 M-flow traces);
 * :func:`run_ptp_study` — how path noise during IEEE 1588 sync propagates
-  into per-flow estimation bias (the paper's sync prerequisite, quantified).
+  into per-flow estimation bias (the paper's sync prerequisite, quantified);
+* :func:`run_tail_accuracy`, :func:`run_mesh_study`,
+  :func:`run_aqm_comparison` — tail quantiles, the shared-core mesh, and
+  RED-vs-tail-drop bottlenecks;
+* :func:`run_localization_study` — the operator-facing incast localization
+  scenario (the ``repro-rlir localize`` subcommand).
+
+Every driver enumerates its conditions as declarative job descriptors
+(:class:`~repro.runner.spec.JobSpec` for pipeline conditions,
+:mod:`~repro.experiments.extension_jobs` for the fat-tree/chain studies)
+executed through a :class:`~repro.runner.runner.ParallelRunner`: pass
+``runner=`` to fan conditions out over worker processes and memoize them on
+disk.  The multihop, granularity, and localization studies additionally
+accept ``shards=N``: the condition's simulation runs once and its per-flow
+estimation is partitioned over N flow shards
+(:mod:`repro.core.replay`), with results **bitwise identical** for every
+(jobs, shards) combination — asserted by the determinism suite.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.cdf import Ecdf
 from ..analysis.metrics import flow_mean_errors
-from ..core.full_rli import FullRliDeployment
-from ..core.injection import StaticInjection
-from ..core.localization import localize
-from ..core.placement import instances_tor_pair
-from ..core.receiver import RliReceiver
-from ..core.rlir import RlirDeployment
-from ..sim.chain import ChainConfig, SwitchChain
-from ..sim.ptp import PtpSession
-from ..sim.topology import FatTree, LinkParams
-from ..traffic.crosstraffic import UniformModel, calibrate_selection_probability
-from ..traffic.synthetic import TraceConfig, generate_fattree_trace
+from ..core.localization import LocalizationReport, localize
+from ..core.replay import merge_shard_tables, pooled_stats
+from ..runner.runner import ParallelRunner
+from ..runner.spec import JobSpec
 from .config import ExperimentConfig
-from .workloads import PipelineWorkload
+from .extension_jobs import (
+    GranularityShardJob,
+    LocalizationShardJob,
+    MeshJob,
+    MultihopShardJob,
+    PtpJob,
+    ShardedSegments,
+)
 
 __all__ = [
     "run_multihop_ablation",
@@ -43,119 +60,111 @@ __all__ = [
     "run_tail_accuracy",
     "run_mesh_study",
     "run_aqm_comparison",
+    "run_localization_study",
+    "GranularityRow",
 ]
+
+
+def _merge_condition(shard_results: Sequence[ShardedSegments]):
+    """Merge one condition's shard results: (name, estimated, true) rows."""
+    merged = []
+    for index, (name, _) in enumerate(shard_results[0].segments):
+        merged.append((
+            name,
+            merge_shard_tables(r.segments[index][1].estimated for r in shard_results),
+            merge_shard_tables(r.segments[index][1].true for r in shard_results),
+        ))
+    return merged
 
 
 def run_multihop_ablation(
     cfg: Optional[ExperimentConfig] = None,
     hops: Sequence[int] = (1, 2, 4, 8),
     utilization: float = 0.80,
+    runner: Optional[ParallelRunner] = None,
+    shards: int = 1,
+    run_seed: int = 0,
 ) -> List[Tuple[int, float, float]]:
     """(n_hops, median flow-mean RE, mean true latency) per chain length.
 
-    Cross traffic is injected independently at *every* hop, calibrated so
-    each hop runs at *utilization* — the hardest case for delay locality
-    across a multi-router segment, since the segment delay is a sum of
-    independent queues.
+    Cross traffic is injected independently at *every* hop (each hop's
+    selection stream gets its own derived seed), calibrated so each hop
+    runs at *utilization* — the hardest case for delay locality across a
+    multi-router segment, since the segment delay is a sum of independent
+    queues.
     """
-    cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    prob = calibrate_selection_probability(
-        workload.cross,
-        regular_bytes=workload.regular.total_bytes,
-        rate_bps=workload.rate_bps,
-        duration=cfg.duration,
-        target_utilization=utilization,
-    )
-    rows = []
-    for n_hops in hops:
-        sender = workload.make_sender("static")
-        receiver = workload.make_receiver()
-        cross_per_hop = {
-            hop: UniformModel(prob, seed=100 + hop).arrivals(workload.cross)
-            for hop in range(n_hops)
-        }
-        chain = SwitchChain(ChainConfig(
-            n_hops=n_hops,
-            rate_bps=workload.rate_bps,
-            buffer_bytes=cfg.buffer_bytes,
-            proc_delay=cfg.proc_delay,
-        ))
-        chain.run(workload.regular.clone_packets(), cross_per_hop,
-                  sender=sender, receiver=receiver, duration=cfg.duration)
-        receiver.finalize()
-        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
-        from ..core.flowstats import StreamingStats
+    from ..runner.spec import config_items
 
-        pooled = StreamingStats()
-        for _, stats in receiver.flow_true.items():
-            pooled.merge(stats)
-        rows.append((n_hops, Ecdf(join.errors).median, pooled.mean))
+    cfg = cfg or ExperimentConfig()
+    runner = runner or ParallelRunner()
+    frozen = config_items(cfg)
+    jobs = [
+        MultihopShardJob(frozen, n_hops, utilization, run_seed, shard, shards)
+        for n_hops in hops
+        for shard in range(shards)
+    ]
+    results = runner.run(jobs)
+    rows = []
+    for i, n_hops in enumerate(hops):
+        ((_, est, true),) = _merge_condition(results[i * shards:(i + 1) * shards])
+        join = flow_mean_errors(est, true)
+        rows.append((n_hops, Ecdf(join.errors).median, pooled_stats(true).mean))
     return rows
 
 
+@dataclass(frozen=True)
 class GranularityRow:
-    """One deployment's cost and localization outcome."""
+    """One deployment's cost and localization outcome (plain data)."""
 
-    def __init__(self, name: str, instances: int, n_segments: int,
-                 culprit: Optional[str], pinned_to_single_queue: bool):
-        self.name = name
-        self.instances = instances
-        self.n_segments = n_segments
-        self.culprit = culprit
-        self.pinned_to_single_queue = pinned_to_single_queue
+    name: str
+    instances: int
+    n_segments: int
+    culprit: Optional[str]
+    pinned_to_single_queue: bool
 
 
-def _degraded_fattree(slow_factor: float = 4.0) -> FatTree:
-    """A k=4 fabric with one core egress link running slow_factor slower."""
-    ft = FatTree(4, LinkParams(rate_bps=40e6, buffer_bytes=128 * 1024,
-                               proc_delay=1e-6, prop_delay=0.5e-6))
-    core = ft.cores[0][0]
-    port = core.ports[ft.port_toward(core, ft.aggs[1][0])]
-    port.queue.set_rate(40e6 / slow_factor)
-    return ft
-
-
-def _granularity_trace(ft: FatTree, n_packets: int, seed: int = 21):
-    pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
-             for h in range(2) for g in range(2)]
-    return generate_fattree_trace(
-        TraceConfig(duration=1.0, n_packets=n_packets, mean_flow_pkts=12.0),
-        pairs, seed=seed, name="granularity")
-
-
-def run_granularity_comparison(n_packets: int = 10_000) -> List[GranularityRow]:
+def run_granularity_comparison(
+    n_packets: int = 10_000,
+    runner: Optional[ParallelRunner] = None,
+    shards: int = 1,
+    trace_seed: int = 21,
+    slow_factor: float = 4.0,
+) -> List[GranularityRow]:
     """Full RLI vs RLIR, one slow queue (core(0,0)→dst pod) injected.
 
     Expected: both localize correctly at their own granularity — full RLI
     names the exact hop, RLIR the containing multi-router segment — while
     RLIR uses fewer instances (k+2 per interface pair vs per-hop pairs).
+    Both deployments measure the same *trace_seed* by design (one workload,
+    two architectures); the seed is part of every job's cache identity.
     """
+    runner = runner or ParallelRunner()
+    deployments = ("full", "rlir")
+    jobs = [
+        GranularityShardJob(deployment, n_packets, trace_seed, slow_factor,
+                            shard, shards)
+        for deployment in deployments
+        for shard in range(shards)
+    ]
+    results = runner.run(jobs)
     rows = []
-
-    ft_full = _degraded_fattree()
-    full = FullRliDeployment(ft_full, src=(0, 0), dst=(1, 0),
-                             policy_factory=lambda: StaticInjection(10))
-    full_result = full.run([_granularity_trace(ft_full, n_packets)])
-    full_report = localize(full_result.segments(), factor=2.0, floor=5e-6,
-                           min_samples=20)
-    rows.append(GranularityRow(
-        "full RLI", full_result.instance_count(), len(full_result.receivers),
-        full_report.culprit,
-        pinned_to_single_queue=(full_report.culprit == "C:cores->agg0"),
-    ))
-
-    ft_rlir = _degraded_fattree()
-    rlir = RlirDeployment(ft_rlir, src=(0, 0), dst=(1, 0),
-                          policy_factory=lambda: StaticInjection(10))
-    rlir_result = rlir.run([_granularity_trace(ft_rlir, n_packets)])
-    rlir_report = localize(rlir_result.segments(), factor=2.0, floor=5e-6,
-                           min_samples=20)
-    rows.append(GranularityRow(
-        "RLIR", instances_tor_pair(4), len(rlir_result.segments()),
-        rlir_report.culprit,
-        pinned_to_single_queue=False,  # segment granularity by design
-    ))
+    for i, deployment in enumerate(deployments):
+        shard_results = results[i * shards:(i + 1) * shards]
+        merged = _merge_condition(shard_results)
+        report = localize([(name, est) for name, est, _ in merged],
+                          factor=2.0, floor=5e-6, min_samples=20)
+        meta = shard_results[0].meta
+        if deployment == "full":
+            rows.append(GranularityRow(
+                "full RLI", meta["instances"], meta["n_segments"],
+                report.culprit,
+                pinned_to_single_queue=(report.culprit == "C:cores->agg0"),
+            ))
+        else:
+            rows.append(GranularityRow(
+                "RLIR", meta["instances"], meta["n_segments"], report.culprit,
+                pinned_to_single_queue=False,  # segment granularity by design
+            ))
     return rows
 
 
@@ -163,33 +172,28 @@ def run_memory_ablation(
     cfg: Optional[ExperimentConfig] = None,
     utilization: float = 0.93,
     bounds: Sequence[Optional[int]] = (None, 4096, 1024, 256),
+    runner: Optional[ParallelRunner] = None,
+    run_seed: int = 0,
 ) -> List[Tuple[Optional[int], int, int, float]]:
     """(max_flows, flows retained, samples evicted, median RE of survivors)
-    per flow-table bound."""
-    from ..sim.pipeline import TwoSwitchPipeline
+    per flow-table bound.
 
+    Eviction order depends on the global packet arrival order, so each
+    bound is one unsharded condition; bounds fan out across workers.
+    """
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
+    runner = runner or ParallelRunner()
+    jobs = [
+        JobSpec.from_config(cfg, "static", "random", utilization,
+                            run_seed=run_seed, max_flows=bound)
+        for bound in bounds
+    ]
     rows = []
-    for bound in bounds:
-        sender = workload.make_sender("static")
-        receiver = RliReceiver(
-            demux=workload.make_receiver().demux,
-            max_flows=bound,
-        )
-        pipeline = TwoSwitchPipeline(workload.pipeline_config)
-        pipeline.run(
-            regular=workload.regular.clone_packets(),
-            cross=workload.cross_arrivals("random", utilization),
-            sender=sender,
-            receiver=receiver,
-            duration=cfg.duration,
-        )
-        receiver.finalize()
-        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
-        evicted = getattr(receiver.flow_estimated, "evicted_samples", 0)
-        median = Ecdf(join.errors).median if join.errors else float("nan")
-        rows.append((bound, len(receiver.flow_true), evicted, median))
+    for bound, summary in zip(bounds, runner.run(jobs)):
+        errors = summary.mean_join.errors
+        median = Ecdf(errors).median if errors else float("nan")
+        rows.append((bound, len(summary.flow_true), summary.evicted_samples,
+                     median))
     return rows
 
 
@@ -198,21 +202,28 @@ def run_ptp_study(
     true_offset: float = 250e-6,
     rounds: int = 32,
     seeds: int = 5,
+    runner: Optional[ParallelRunner] = None,
+    run_seed: int = 0,
 ) -> List[Tuple[float, float]]:
     """(path queue jitter, mean |residual sync error|) per jitter level.
 
     Residual error is the bias every RLI delay sample inherits; compare
     against the delay scales in the Figure-4 benches to judge whether a
     software-PTP deployment suffices or hardware timestamping is needed.
+    Every (jitter, repetition) cell is its own job with its own derived
+    noise seed.
     """
+    runner = runner or ParallelRunner()
+    jobs = [
+        PtpJob(jitter, true_offset, rounds, seed_index, run_seed)
+        for jitter in jitters
+        for seed_index in range(seeds)
+    ]
+    residuals = runner.run(jobs)
     rows = []
-    for jitter in jitters:
-        total = 0.0
-        for seed in range(seeds):
-            session = PtpSession(true_offset=true_offset, queue_jitter=jitter,
-                                 seed=seed)
-            total += abs(session.synchronize(rounds=rounds).residual_error)
-        rows.append((jitter, total / seeds))
+    for i, jitter in enumerate(jitters):
+        cell = residuals[i * seeds:(i + 1) * seeds]
+        rows.append((jitter, sum(cell) / seeds))
     return rows
 
 
@@ -221,6 +232,8 @@ def run_tail_accuracy(
     utilization: float = 0.93,
     quantiles: Sequence[float] = (0.5, 0.95, 0.99),
     min_packets: int = 20,
+    runner: Optional[ParallelRunner] = None,
+    run_seed: int = 0,
 ) -> Dict[float, Ecdf]:
     """Per-flow tail-quantile accuracy: quantile → Ecdf of relative errors.
 
@@ -230,31 +243,18 @@ def run_tail_accuracy(
     true quantiles, restricted to flows with at least *min_packets* packets
     (tails of tiny flows are not meaningful).
     """
-    from ..sim.pipeline import TwoSwitchPipeline
-
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-    sender = workload.make_sender("adaptive")
-    receiver = RliReceiver(
-        demux=workload.make_receiver().demux,
-        quantiles=quantiles,
-    )
-    pipeline = TwoSwitchPipeline(workload.pipeline_config)
-    pipeline.run(
-        regular=workload.regular.clone_packets(),
-        cross=workload.cross_arrivals("random", utilization),
-        sender=sender,
-        receiver=receiver,
-        duration=cfg.duration,
-    )
-    receiver.finalize()
+    runner = runner or ParallelRunner()
+    job = JobSpec.from_config(cfg, "adaptive", "random", utilization,
+                              run_seed=run_seed, quantiles=tuple(quantiles))
+    summary = runner.run_one(job)
 
     errors: Dict[float, List[float]] = {q: [] for q in quantiles}
-    for key, estimated in receiver.flow_estimated_quantiles.items():
-        truth_stats = receiver.flow_true.get(key)
-        if truth_stats is None or truth_stats.count < min_packets:
+    for key, estimated in summary.flow_estimated_quantiles.items():
+        truth_row = summary.flow_true.get(key)
+        if truth_row is None or truth_row[0] < min_packets:
             continue
-        truth = receiver.flow_true_quantiles.get(key)
+        truth = summary.flow_true_quantiles.get(key)
         for q in quantiles:
             if truth[q] > 0:
                 errors[q].append(abs(estimated[q] - truth[q]) / truth[q])
@@ -268,47 +268,25 @@ def run_mesh_study(
         ((0, 1), (2, 1)),
         ((3, 0), (1, 1)),
     ),
+    runner: Optional[ParallelRunner] = None,
+    run_seed: int = 0,
 ) -> List[Tuple[str, int, float, float]]:
     """Multi-pair mesh on one fabric: (pair, flows, seg2 median RE,
     e2e median RE) per measured ToR pair.
 
     All pairs share the fabric and the core measurement instances, so each
     pair's traffic is cross traffic for the others — the across-routers
-    regime with realistic interference.
+    regime with realistic interference, and one irreducible simulation.
     """
-    from ..core.mesh import RlirMesh
-
-    ft = FatTree(4, LinkParams(rate_bps=40e6, buffer_bytes=256 * 1024,
-                               proc_delay=1e-6, prop_delay=0.5e-6))
-    mesh = RlirMesh(ft, list(pairs), policy_factory=lambda: StaticInjection(20))
-    traces = []
-    for i, (src, dst) in enumerate(pairs):
-        host_pairs = [(ft.host_address(*src, h), ft.host_address(*dst, g))
-                      for h in range(2) for g in range(2)]
-        traces.append(generate_fattree_trace(
-            TraceConfig(duration=1.0, n_packets=n_packets_per_pair,
-                        mean_flow_pkts=12.0),
-            host_pairs, seed=30 + i, name=f"{src}->{dst}"))
-    result = mesh.run(traces)
-
-    rows = []
-    for src, dst in pairs:
-        view = result.pair(src, dst)
-        j2 = flow_mean_errors(view.segment2_estimated(), view.segment2_true())
-        e2e = view.end_to_end()
-        e2e_errors = [abs(e - t) / t for _, e, t in e2e if t > 0]
-        rows.append((
-            f"{src}->{dst}",
-            len(j2.errors),
-            Ecdf(j2.errors).median if j2.errors else float("nan"),
-            Ecdf(e2e_errors).median if e2e_errors else float("nan"),
-        ))
-    return rows
+    runner = runner or ParallelRunner()
+    return runner.run_one(MeshJob(tuple(pairs), n_packets_per_pair, run_seed))
 
 
 def run_aqm_comparison(
     cfg: Optional[ExperimentConfig] = None,
     utilization: float = 0.95,
+    runner: Optional[ParallelRunner] = None,
+    run_seed: int = 0,
 ) -> List[Tuple[str, float, float, int]]:
     """(queue discipline, regular loss rate, median flow-mean RE, refs lost)
     under tail-drop vs RED bottleneck queues on the identical workload.
@@ -316,47 +294,52 @@ def run_aqm_comparison(
     Drop *placement* matters to the measurement plane: RED kills reference
     packets probabilistically in proportion to load (widening interpolation
     intervals smoothly), while tail-drop loses them in full-buffer bursts.
+    RED's drop-decision stream is seeded from ``run_seed`` inside the job.
     """
-    from functools import partial
-
     from ..net.packet import PacketKind
-    from ..sim.pipeline import PipelineConfig, TwoSwitchPipeline
-    from ..sim.red import RedQueue
 
     cfg = cfg or ExperimentConfig()
-    workload = PipelineWorkload(cfg)
-
-    def red_factory(rate, buffer_bytes, proc, name):
-        return RedQueue(rate, buffer_bytes, proc, name,
-                        min_th_bytes=buffer_bytes // 8,
-                        max_th_bytes=buffer_bytes // 2,
-                        max_p=0.2, seed=5)
-
+    runner = runner or ParallelRunner()
+    disciplines = (("tail-drop", None), ("RED", "red"))
+    jobs = [
+        JobSpec.from_config(cfg, "static", "random", utilization,
+                            run_seed=run_seed, aqm=aqm)
+        for _, aqm in disciplines
+    ]
     rows = []
-    for discipline, factory in (("tail-drop", None), ("RED", red_factory)):
-        pipe_cfg = PipelineConfig(
-            rate1_bps=workload.rate_bps,
-            rate2_bps=workload.rate_bps,
-            buffer1_bytes=cfg.buffer_bytes,
-            buffer2_bytes=cfg.buffer_bytes,
-            proc_delay=cfg.proc_delay,
-            queue_factory=factory,
-        )
-        sender = workload.make_sender("static")
-        receiver = workload.make_receiver()
-        result = TwoSwitchPipeline(pipe_cfg).run(
-            regular=workload.regular.clone_packets(),
-            cross=workload.cross_arrivals("random", utilization),
-            sender=sender,
-            receiver=receiver,
-            duration=cfg.duration,
-        )
-        receiver.finalize()
-        join = flow_mean_errors(receiver.flow_estimated, receiver.flow_true)
+    for (name, _), summary in zip(disciplines, runner.run(jobs)):
         rows.append((
-            discipline,
-            result.loss_rate(PacketKind.REGULAR),
-            Ecdf(join.errors).median,
-            result.drops2[PacketKind.REFERENCE],
+            name,
+            summary.loss_rate(PacketKind.REGULAR),
+            Ecdf(summary.mean_join.errors).median,
+            summary.drops2.get(PacketKind.REFERENCE.name, 0),
         ))
     return rows
+
+
+def run_localization_study(
+    n_packets: int = 20_000,
+    demux_method: str = "reverse-ecmp",
+    factor: float = 3.0,
+    floor: float = 5e-6,
+    min_samples: int = 20,
+    runner: Optional[ParallelRunner] = None,
+    shards: int = 1,
+    run_seed: int = 0,
+) -> LocalizationReport:
+    """The operator scenario behind ``repro-rlir localize``.
+
+    An RLIR ToR-pair deployment measures its traffic while two other pods
+    incast into the destination pod; the destination-side segment inflates
+    and :func:`~repro.core.localization.localize` must name it.  The
+    simulation runs once (per cache identity); per-flow estimation fans out
+    over *shards* × the runner's workers.
+    """
+    runner = runner or ParallelRunner()
+    jobs = [
+        LocalizationShardJob(n_packets, demux_method, run_seed, shard, shards)
+        for shard in range(shards)
+    ]
+    merged = _merge_condition(runner.run(jobs))
+    return localize([(name, est) for name, est, _ in merged],
+                    factor=factor, floor=floor, min_samples=min_samples)

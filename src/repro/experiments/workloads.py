@@ -144,10 +144,21 @@ class PipelineWorkload:
             templates={0: template},
         )
 
-    def make_receiver(self, estimator: str = "linear") -> RliReceiver:
+    def make_receiver(
+        self,
+        estimator: str = "linear",
+        max_flows: Optional[int] = None,
+        quantiles: Optional[Tuple[float, ...]] = None,
+        observation_log: Optional[list] = None,
+        record_only: bool = False,
+    ) -> RliReceiver:
         return RliReceiver(
             demux=SingleSenderDemux(PIPELINE_SENDER_ID, regular_prefixes=[self.regular_prefix]),
             estimator=estimator,
+            max_flows=max_flows,
+            quantiles=quantiles,
+            observation_log=observation_log,
+            record_only=record_only,
         )
 
 
@@ -194,22 +205,46 @@ def run_condition(
     run_seed: int = 0,
     static_n: Optional[int] = None,
     clock_offset: float = 0.0,
+    max_flows: Optional[int] = None,
+    quantiles: Optional[Tuple[float, ...]] = None,
+    aqm: Optional[str] = None,
 ) -> ConditionResult:
     """Run one pipeline condition.
 
-    ``scheme=None`` disables reference injection (Figure 5's baseline runs).
+    ``scheme=None`` disables reference injection (Figure 5's baseline runs);
+    it runs no receiver, so combining it with receiver-side knobs (a
+    non-default ``estimator``, ``max_flows``, or ``quantiles``) is a
+    contradiction and raises rather than silently ignoring them.
     ``static_n`` overrides the injection gap (the injection-gap ablation);
     a nonzero ``clock_offset`` desynchronizes the receiver clock (the
-    sync-error ablation).
+    sync-error ablation); ``max_flows``/``quantiles`` configure the
+    receiver's flow tables; ``aqm="red"`` swaps both switch queues for RED.
     """
+    if scheme is None:
+        contradictory = [
+            name
+            for name, off in (("estimator", estimator == "linear"),
+                              ("max_flows", max_flows is None),
+                              ("quantiles", not quantiles))
+            if not off
+        ]
+        if contradictory:
+            raise ValueError(
+                f"scheme=None runs no receiver, so {', '.join(contradictory)} "
+                f"would be silently ignored; drop them or pick a scheme"
+            )
     sender = workload.make_sender(scheme) if scheme is not None else None
     if sender is not None and static_n is not None:
         sender.policy = StaticInjection(static_n)
-    receiver = workload.make_receiver(estimator) if scheme is not None else None
+    receiver = (
+        workload.make_receiver(estimator, max_flows=max_flows, quantiles=quantiles)
+        if scheme is not None
+        else None
+    )
     if receiver is not None and clock_offset != 0.0:
         receiver.clock = OffsetClock(clock_offset)
     cross = workload.cross_arrivals(model, target_util, seed=run_seed)
-    pipeline = TwoSwitchPipeline(workload.pipeline_config)
+    pipeline = TwoSwitchPipeline(_pipeline_config(workload, aqm, run_seed))
     result = pipeline.run(
         regular=workload.regular.clone_packets(),
         cross=cross,
@@ -222,11 +257,45 @@ def run_condition(
     return ConditionResult(scheme, model, target_util, result, receiver, sender)
 
 
+def _pipeline_config(workload: PipelineWorkload, aqm: Optional[str],
+                     run_seed: int) -> PipelineConfig:
+    """The workload's pipeline config, with *aqm* queues swapped in.
+
+    ``aqm=None`` keeps the shared tail-drop config; ``"red"`` builds a RED
+    bottleneck (thresholds at 1/8 and 1/2 of the buffer) whose drop-decision
+    stream is seeded from ``run_seed`` so no two conditions share it.
+    """
+    if aqm is None:
+        return workload.pipeline_config
+    if aqm != "red":
+        raise ValueError(f"unknown AQM discipline: {aqm!r}")
+    from ..sim.red import RedQueue
+    from .config import derive_seed
+
+    def red_factory(rate_bps, buffer_bytes, proc_delay, name):
+        # each queue gets its own drop-decision stream (keyed by queue
+        # name), so the two switches' early-drop lotteries are uncorrelated
+        return RedQueue(rate_bps, buffer_bytes, proc_delay, name,
+                        min_th_bytes=buffer_bytes // 8,
+                        max_th_bytes=buffer_bytes // 2,
+                        max_p=0.2, seed=derive_seed(run_seed, "red-drops", name))
+
+    return PipelineConfig(
+        rate1_bps=workload.rate_bps,
+        rate2_bps=workload.rate_bps,
+        buffer1_bytes=workload.cfg.buffer_bytes,
+        buffer2_bytes=workload.cfg.buffer_bytes,
+        proc_delay=workload.cfg.proc_delay,
+        queue_factory=red_factory,
+    )
+
+
 # ----------------------------------------------------------------------
 # picklable condition summaries and the sweep-runner job function
 
 FlowKey = Tuple[int, int, int, int, int]
 FlowRow = Tuple[int, float, float]  # (count, mean, std)
+QuantileRow = Dict[float, float]  # quantile -> estimated value
 
 
 @dataclass
@@ -261,6 +330,12 @@ class ConditionSummary:
     # per-flow tables: flow key -> (count, mean, std)
     flow_estimated: Dict[FlowKey, FlowRow] = field(default_factory=dict)
     flow_true: Dict[FlowKey, FlowRow] = field(default_factory=dict)
+    # bounded-flow-table accounting (memory ablation; 0 when unbounded)
+    evicted_flows: int = 0
+    evicted_samples: int = 0
+    # per-flow streaming quantiles (tail study; empty unless requested)
+    flow_estimated_quantiles: Dict[FlowKey, QuantileRow] = field(default_factory=dict)
+    flow_true_quantiles: Dict[FlowKey, QuantileRow] = field(default_factory=dict)
 
     def loss_rate(self, kind: PacketKind = PacketKind.REGULAR) -> float:
         """Loss rate of *kind* packets at the bottleneck switch."""
@@ -300,6 +375,15 @@ def summarize_condition(condition: ConditionResult, estimator: str = "linear",
         summary.std_join = flow_std_errors(receiver.flow_estimated, receiver.flow_true)
         summary.flow_estimated = _flow_table_rows(receiver.flow_estimated)
         summary.flow_true = _flow_table_rows(receiver.flow_true)
+        summary.evicted_flows = getattr(receiver.flow_estimated, "evicted_flows", 0)
+        summary.evicted_samples = getattr(receiver.flow_estimated, "evicted_samples", 0)
+        if receiver.flow_estimated_quantiles is not None:
+            summary.flow_estimated_quantiles = {
+                key: dict(q) for key, q in receiver.flow_estimated_quantiles.items()
+            }
+            summary.flow_true_quantiles = {
+                key: dict(q) for key, q in receiver.flow_true_quantiles.items()
+            }
     return summary
 
 
@@ -344,5 +428,8 @@ def run_condition_job(job) -> ConditionSummary:
         run_seed=job.run_seed,
         static_n=job.static_n,
         clock_offset=job.clock_offset,
+        max_flows=job.max_flows,
+        quantiles=job.quantiles or None,
+        aqm=job.aqm,
     )
     return summarize_condition(condition, estimator=job.estimator, run_seed=job.run_seed)

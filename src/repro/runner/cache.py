@@ -58,13 +58,33 @@ def code_fingerprint() -> str:
 
 
 def canonical_json(obj: Any) -> str:
-    """Deterministic JSON encoding used for cache keys."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=_jsonify)
+    """Deterministic, collision-free JSON encoding used for cache keys.
+
+    Container types are tagged (``["__tuple__", ...]`` etc.) so values that
+    Python distinguishes but JSON would conflate — ``(1, 2)`` vs ``[1, 2]``,
+    or a set vs the sorted list of its members — can never alias one cache
+    key.  Sets (including mixed-type sets, which ``sorted`` cannot order)
+    are canonicalized by sorting their members' own encodings.
+    """
+    return json.dumps(_canonicalize(obj), sort_keys=True, separators=(",", ":"))
 
 
-def _jsonify(obj: Any) -> Any:
+def _canonicalize(obj: Any) -> Any:
+    if isinstance(obj, tuple):
+        return ["__tuple__", [_canonicalize(x) for x in obj]]
+    if isinstance(obj, list):
+        return ["__list__", [_canonicalize(x) for x in obj]]
     if isinstance(obj, (set, frozenset)):
-        return sorted(obj)
+        members = [_canonicalize(x) for x in obj]
+        members.sort(key=lambda m: json.dumps(m, sort_keys=True, separators=(",", ":")))
+        return ["__set__", members]
+    if isinstance(obj, dict):
+        keys = list(obj)
+        if any(not isinstance(k, str) for k in keys):
+            raise TypeError(f"cache-key dicts need str keys: {keys!r}")
+        return {k: _canonicalize(v) for k, v in obj.items()}
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
     raise TypeError(f"not cache-key serializable: {obj!r}")
 
 

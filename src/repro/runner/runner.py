@@ -45,6 +45,17 @@ def _execute_indexed(indexed_job) -> Any:
     return index, job.run()
 
 
+def _prepare_key(job) -> Any:
+    """The identity of the shared artifact a job's prepare() would build.
+
+    Jobs sharing an expensive artifact beyond their workload traces (e.g. a
+    recorded observation log) advertise it via ``prepare_key``; plain
+    condition jobs fall back to their frozen config.
+    """
+    key = getattr(job, "prepare_key", None)
+    return key if key is not None else getattr(job, "config", None)
+
+
 class ParallelRunner:
     """Run sweep jobs over *jobs* worker processes with result caching.
 
@@ -135,21 +146,43 @@ class ParallelRunner:
                 else "spawn"
             )
         ctx = multiprocessing.get_context(method)
-        if method == "fork":
-            # build shared workloads pre-fork so children inherit the traces
-            prepared = set()
-            for job in jobs:
-                prepare = getattr(job, "prepare", None)
-                workload_key = getattr(job, "config", None)
-                if prepare is not None and workload_key not in prepared:
-                    prepare()
-                    if workload_key is not None:
-                        prepared.add(workload_key)
         processes = min(self.jobs, len(jobs))
-        with ctx.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(
-                _execute_indexed, list(enumerate(jobs)), chunksize=1
-            )
+        prepared: dict = {}
+        if method == "fork":
+            # Build shared artifacts pre-fork so children inherit them
+            # copy-on-write — but only when that wins.  Prewarming runs the
+            # builds serially in the parent, so it pays off exactly when
+            # the distinct artifacts are too few to keep every worker busy
+            # on their own (the one-huge-condition case sharding exists
+            # for); with at least as many artifacts as workers, each
+            # worker builds its own in parallel instead.  Single-consumer
+            # artifacts are never worth building up front.
+            consumers: dict = {}
+            for job in jobs:
+                key = _prepare_key(job)
+                if key is not None and getattr(job, "prepare", None) is not None:
+                    consumers[key] = consumers.get(key, 0) + 1
+            if len(consumers) < processes:
+                for job in jobs:
+                    prepare = getattr(job, "prepare", None)
+                    key = _prepare_key(job)
+                    if (prepare is not None and consumers.get(key, 0) >= 2
+                            and key not in prepared):
+                        prepare()
+                        prepared[key] = job
+        try:
+            with ctx.Pool(processes=processes) as pool:
+                yield from pool.imap_unordered(
+                    _execute_indexed, list(enumerate(jobs)), chunksize=1
+                )
+        finally:
+            # children inherited the prewarmed artifacts at fork time; the
+            # parent's copies are dead once the pool is done, so let jobs
+            # that pin memory release it
+            for job in prepared.values():
+                release = getattr(job, "release_prepared", None)
+                if release is not None:
+                    release()
 
     def __repr__(self) -> str:
         return (

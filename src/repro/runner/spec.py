@@ -45,7 +45,11 @@ class JobSpec:
     ``scheme=None`` means no reference injection (Figure 5's baselines).
     ``static_n`` overrides the static scheme's 1-and-n gap (injection-gap
     ablation); ``clock_offset`` desynchronizes the receiver clock by that
-    many seconds (sync-error ablation).
+    many seconds (sync-error ablation); ``max_flows`` bounds the receiver's
+    flow tables (memory ablation); ``quantiles`` turns on streaming P²
+    per-flow quantile tracking (tail-accuracy study); ``aqm="red"`` swaps
+    the tail-drop bottleneck queues for RED (AQM study, drop-decision seed
+    derived from ``run_seed``).
     """
 
     config: ConfigItems
@@ -56,6 +60,9 @@ class JobSpec:
     run_seed: int = 0
     static_n: Optional[int] = None
     clock_offset: float = 0.0
+    max_flows: Optional[int] = None
+    quantiles: Tuple[float, ...] = ()
+    aqm: Optional[str] = None
 
     @classmethod
     def from_config(cls, cfg, scheme, model, target_util, **overrides) -> "JobSpec":
@@ -86,6 +93,9 @@ class JobSpec:
             "run_seed": self.run_seed,
             "static_n": self.static_n,
             "clock_offset": self.clock_offset,
+            "max_flows": self.max_flows,
+            "quantiles": self.quantiles,
+            "aqm": self.aqm,
         }
 
     def prepare(self) -> None:

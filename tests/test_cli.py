@@ -13,8 +13,8 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         for command in ("generate-trace", "trace-info", "convert", "fig4a",
-                        "fig4b", "fig4c", "fig5", "placement", "localize",
-                        "cache"):
+                        "fig4b", "fig4c", "fig5", "placement", "extensions",
+                        "localize", "cache"):
             # smallest valid invocation parses
             args = {"generate-trace": [command, "--out", "x.npz"],
                     "trace-info": [command, "x.npz"],
@@ -24,10 +24,20 @@ class TestParser:
 
     def test_runner_flags_on_experiment_subcommands(self):
         parser = build_parser()
-        for command in ("fig4a", "fig4b", "fig4c", "fig5", "placement"):
+        for command in ("fig4a", "fig4b", "fig4c", "fig5", "placement",
+                        "extensions", "localize"):
             args = parser.parse_args([command, "--jobs", "4", "--no-cache"])
             assert args.jobs == 4
             assert args.no_cache is True
+
+    def test_shards_flag_on_sharded_subcommands(self):
+        parser = build_parser()
+        for command in ("extensions", "localize"):
+            args = parser.parse_args([command, "--shards", "3"])
+            assert args.shards == 3
+        # figure sweeps have no within-condition sharding
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4a", "--shards", "3"])
 
 
 class TestTraceCommands:
@@ -86,10 +96,47 @@ class TestAnalysisCommands:
         out = capsys.readouterr().out
         assert "relative error (log)" in out  # the ascii plot rendered
 
-    def test_localize(self, capsys):
+    def test_localize(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # default .repro-cache lands here
         assert main(["localize", "--packets", "3000"]) == 0
         out = capsys.readouterr().out
         assert "culprit" in out
+
+    def test_localize_sharded_cached_rerun_matches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["localize", "--packets", "2000", "--jobs", "2", "--shards", "2",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # warm: answered from the cache
+        assert capsys.readouterr().out == first
+        # serial, unsharded path prints the identical report
+        assert main(["localize", "--packets", "2000", "--no-cache"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_extensions_selected_studies(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        monkeypatch.chdir(tmp_path)
+        assert main(["extensions", "ptp", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "ptp: residual sync error" in out
+        assert "multihop" not in out
+
+    def test_extensions_rejects_unknown_study(self, capsys, monkeypatch,
+                                              tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["extensions", "warp-drive"]) == 2
+        assert "unknown studies" in capsys.readouterr().err
+
+    def test_extensions_sharded_parallel_matches_serial(self, capsys,
+                                                        monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        cache_dir = str(tmp_path / "cache")
+        base = ["extensions", "multihop", "--cache-dir", cache_dir]
+        assert main(base + ["--jobs", "2", "--shards", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert main(["extensions", "multihop", "--no-cache"]) == 0
+        assert capsys.readouterr().out == sharded
 
     def test_fig4a_parallel_cached_rerun_matches(self, capsys, monkeypatch,
                                                  tmp_path):

@@ -62,6 +62,26 @@ class TestWorkload:
         with pytest.raises(ValueError):
             tiny_workload.cross_arrivals("fractal", 0.5)
 
+    def test_receiver_knobs_with_scheme_none_rejected(self, tiny_workload):
+        """scheme=None runs no receiver; receiver-side knobs must raise
+        instead of being silently ignored (regression: estimator= used to
+        vanish without a sound)."""
+        with pytest.raises(ValueError, match="estimator"):
+            run_condition(tiny_workload, None, "random", 0.67,
+                          estimator="nearest")
+        with pytest.raises(ValueError, match="max_flows"):
+            run_condition(tiny_workload, None, "random", 0.67, max_flows=64)
+        with pytest.raises(ValueError, match="quantiles"):
+            run_condition(tiny_workload, None, "random", 0.67,
+                          quantiles=(0.5,))
+        # the default estimator with no receiver stays valid (fig5 baselines)
+        baseline = run_condition(tiny_workload, None, "random", 0.67)
+        assert baseline.receiver is None
+
+    def test_unknown_aqm_rejected(self, tiny_workload):
+        with pytest.raises(ValueError, match="AQM"):
+            run_condition(tiny_workload, "static", "random", 0.67, aqm="codel")
+
 
 class TestFig4Shapes:
     def test_accuracy_improves_with_utilization(self, tiny_workload):

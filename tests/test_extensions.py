@@ -10,6 +10,7 @@ from repro.experiments.extensions import (
     run_multihop_ablation,
     run_ptp_study,
 )
+from repro.runner import ParallelRunner, ResultCache
 
 
 class TestMultihop:
@@ -104,3 +105,72 @@ class TestAqmComparison:
         for name, loss, median, ref_drops in rows:
             assert 0.0 <= loss < 0.5
             assert median < 2.0
+
+
+class TestRunnerRouting:
+    """Every extension driver goes through ParallelRunner + ResultCache."""
+
+    def test_all_drivers_execute_through_the_runner(self, tiny_config):
+        from repro.experiments.extensions import (
+            run_aqm_comparison, run_localization_study, run_mesh_study,
+            run_tail_accuracy)
+
+        runner = ParallelRunner(jobs=1)
+        run_multihop_ablation(tiny_config, hops=(1,), runner=runner)
+        run_granularity_comparison(n_packets=2000, runner=runner)
+        run_memory_ablation(tiny_config, bounds=(64,), runner=runner)
+        run_ptp_study(jitters=(0.0,), seeds=1, runner=runner)
+        run_tail_accuracy(tiny_config, quantiles=(0.5,), runner=runner)
+        run_mesh_study(n_packets_per_pair=1500, runner=runner)
+        run_aqm_comparison(tiny_config, runner=runner)
+        run_localization_study(n_packets=1500, runner=runner)
+        # multihop 1 + granularity 2 + memory 1 + ptp 1 + tail 1 + mesh 1
+        # + aqm 2 + localize 1 jobs, all executed (no cache configured)
+        assert runner.executed == 10
+        assert runner.cache_hits == 0
+
+    def test_rerun_answers_from_cache(self, tiny_config, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", fingerprint="test")
+        cold = ParallelRunner(jobs=1, cache=cache)
+        first = run_multihop_ablation(tiny_config, hops=(1, 2), runner=cold,
+                                      shards=2)
+        assert cold.executed == 4  # 2 hops x 2 shards
+        warm = ParallelRunner(jobs=1, cache=cache)
+        second = run_multihop_ablation(tiny_config, hops=(1, 2), runner=warm,
+                                       shards=2)
+        assert warm.executed == 0
+        assert warm.cache_hits == 4
+        assert first == second
+
+    def test_seeds_reach_cache_keys(self, tiny_config, tmp_path):
+        """Two run_seeds must never share a cache entry (the old hard-coded
+        seeds made every sweep condition alias one key)."""
+        cache = ResultCache(root=tmp_path / "cache", fingerprint="test")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        run_multihop_ablation(tiny_config, hops=(1,), runner=runner, run_seed=0)
+        run_multihop_ablation(tiny_config, hops=(1,), runner=runner, run_seed=1)
+        assert runner.executed == 2
+        assert runner.cache_hits == 0
+
+    def test_run_seed_changes_the_numbers(self, tiny_config):
+        """The threaded seed actually reaches the random streams."""
+        a = run_multihop_ablation(tiny_config, hops=(1,), run_seed=0)
+        b = run_multihop_ablation(tiny_config, hops=(1,), run_seed=1)
+        assert a != b
+
+    def test_granularity_trace_seed_is_threaded(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", fingerprint="test")
+        runner = ParallelRunner(jobs=1, cache=cache)
+        run_granularity_comparison(n_packets=2000, runner=runner, trace_seed=21)
+        run_granularity_comparison(n_packets=2000, runner=runner, trace_seed=22)
+        assert runner.executed == 4
+        assert runner.cache_hits == 0
+
+
+class TestLocalizationStudy:
+    def test_incast_culprit_is_destination_segment(self):
+        from repro.experiments.extensions import run_localization_study
+
+        report = run_localization_study(n_packets=6000)
+        assert report.culprit == "seg2:to-dst-tor"
+        assert len(report.summaries) == 5  # 4 seg1 cores + seg2

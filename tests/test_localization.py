@@ -62,6 +62,65 @@ class TestLocalize:
         with pytest.raises(ValueError):
             localize([])
 
+    def test_all_segments_below_min_samples_never_flag(self):
+        """A fabric where no segment has enough evidence must stay silent,
+        however extreme the thin means look."""
+        report = localize([
+            ("a", table(20e-6, n_flows=1, samples_per_flow=2)),
+            ("b", table(900e-6, n_flows=1, samples_per_flow=2)),
+        ], min_samples=10)
+        assert report.anomalous == []
+        assert report.culprit is None
+        assert len(report.summaries) == 2  # still summarized, just not flagged
+
+    def test_single_segment_is_its_own_baseline(self):
+        """One segment's baseline is its own mean, so it can never exceed
+        factor × baseline (factor > 1): no peers, no anomaly call."""
+        report = localize([("only", table(900e-6))], factor=3.0)
+        assert report.baseline_mean == report.summaries[0].mean
+        assert report.culprit is None
+
+    def test_tie_at_factor_boundary_not_flagged(self):
+        """mean == factor × baseline is NOT anomalous: the comparison is
+        strict, so a segment exactly at the threshold stays unflagged."""
+        base = 100e-6
+        factor = 3.0
+
+        def constant_table(value):
+            # constant samples keep the Welford mean exactly at `value`,
+            # so the boundary comparison is an exact float tie
+            t = FlowStatsTable()
+            for f in range(3):
+                for _ in range(10):
+                    t.add((f, 2, 3, 4, 6), value)
+            return t
+
+        baselines = [(name, constant_table(base)) for name in ("a", "b", "c")]
+        report = localize(baselines + [("boundary", constant_table(factor * base))],
+                          factor=factor, floor=1e-6)
+        assert report.baseline_mean == base
+        assert "boundary" not in report.anomalous
+        # a hair above the boundary flips it
+        report = localize(
+            baselines + [("above", constant_table(factor * base * 1.001))],
+            factor=factor, floor=1e-6)
+        assert report.culprit == "above"
+
+    def test_as_rows_plain_data(self):
+        report = localize([
+            ("seg-a", table(20e-6)),
+            ("seg-b", table(500e-6)),
+            ("seg-c", table(22e-6)),
+        ])
+        rows = report.as_rows()
+        assert [name for name, *_ in rows] == ["seg-b", "seg-c", "seg-a"]
+        (name, mean, flows, samples, anomalous) = rows[0]
+        assert anomalous is True and flows == 3 and samples == 30
+        assert rows[1][4] is False and rows[2][4] is False
+        import pickle
+
+        assert pickle.loads(pickle.dumps(rows)) == rows
+
     def test_multiple_anomalies_ranked(self):
         report = localize([
             ("a", table(10e-6)),

@@ -72,6 +72,30 @@ class TestKeying:
         with pytest.raises(TypeError):
             canonical_json({"x": object()})
 
+    def test_tuple_and_list_cannot_alias(self, cache):
+        """Two configs differing only in container type must not share a
+        cache key (plain JSON encodes (1, 2) and [1, 2] identically)."""
+        assert canonical_json({"x": (1, 2)}) != canonical_json({"x": [1, 2]})
+        assert cache.key({"x": (1, 2)}) != cache.key({"x": [1, 2]})
+
+    def test_set_and_sorted_list_cannot_alias(self, cache):
+        assert cache.key({"x": {1, 2}}) != cache.key({"x": [1, 2]})
+
+    def test_literal_tag_cannot_alias_real_tuple(self, cache):
+        """A list that happens to spell the tuple tag still gets its own key."""
+        assert cache.key({"x": ("__tuple__", [1])}) != \
+            cache.key({"x": ["__tuple__", [1]]})
+
+    def test_mixed_type_set_is_serializable_and_stable(self, cache):
+        """sorted() crashes on {1, 'a'}; the canonical form must not, and
+        must not depend on set iteration order."""
+        key = cache.key({"x": {1, "a", (2, 3)}})
+        assert key == cache.key({"x": {(2, 3), "a", 1}})
+        assert key != cache.key({"x": {1, "a"}})
+
+    def test_nested_containers_roundtrip_distinctly(self, cache):
+        assert cache.key({"x": [(1,), (2,)]}) != cache.key({"x": [[1], [2]]})
+
     def test_code_fingerprint_is_memoized_hex(self):
         assert code_fingerprint() == code_fingerprint()
         assert len(code_fingerprint()) == 64

@@ -8,6 +8,11 @@ seed (inside the frozen config) and its cross-traffic selection seed
 serial fallback, a repeated serial run, and a 2-worker
 :class:`~repro.runner.runner.ParallelRunner` must produce summaries that
 are equal value-by-value *and* byte-identical under pickle.
+
+The extension studies add a third execution mode — within-condition flow
+sharding (``shards=N`` splits one condition's per-flow estimation over N
+replay jobs, :mod:`repro.core.replay`) — which must also be byte-identical
+to the serial and parallel paths, for every (jobs, shards) combination.
 """
 
 import pickle
@@ -15,6 +20,11 @@ import pickle
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.extensions import (
+    run_granularity_comparison,
+    run_localization_study,
+    run_multihop_ablation,
+)
 from repro.experiments.fig4 import run_fig4ab
 from repro.runner import JobSpec, ParallelRunner, SweepSpec
 
@@ -74,6 +84,61 @@ class TestParallelMatchesSerial:
         for s, p in zip(serial_curves, parallel_curves):
             assert s.summary == p.summary
             assert s.summary_row() == p.summary_row()
+
+
+class TestExtensionSharding:
+    """serial == parallel == within-condition-sharded, byte for byte."""
+
+    def test_multihop_serial_parallel_sharded_identical(self, cfg):
+        serial = run_multihop_ablation(cfg, hops=(1, 2))
+        parallel = run_multihop_ablation(cfg, hops=(1, 2),
+                                         runner=ParallelRunner(jobs=2))
+        sharded = run_multihop_ablation(cfg, hops=(1, 2),
+                                        runner=ParallelRunner(jobs=2), shards=3)
+        serial_sharded = run_multihop_ablation(cfg, hops=(1, 2), shards=2)
+        blob = pickle.dumps(serial)
+        assert serial == parallel == sharded == serial_sharded
+        assert blob == pickle.dumps(parallel)
+        assert blob == pickle.dumps(sharded)
+        assert blob == pickle.dumps(serial_sharded)
+
+    def test_granularity_serial_parallel_sharded_identical(self):
+        serial = run_granularity_comparison(n_packets=3000)
+        parallel = run_granularity_comparison(n_packets=3000,
+                                              runner=ParallelRunner(jobs=2))
+        sharded = run_granularity_comparison(n_packets=3000,
+                                             runner=ParallelRunner(jobs=2),
+                                             shards=3)
+        blob = pickle.dumps(serial)
+        assert serial == parallel == sharded
+        assert blob == pickle.dumps(parallel)
+        assert blob == pickle.dumps(sharded)
+
+    def test_localization_study_sharding_identical(self):
+        serial = run_localization_study(n_packets=2000)
+        sharded = run_localization_study(n_packets=2000,
+                                         runner=ParallelRunner(jobs=2),
+                                         shards=3)
+        assert serial.as_rows() == sharded.as_rows()
+        assert serial.culprit == sharded.culprit
+        assert pickle.dumps(serial.as_rows()) == pickle.dumps(sharded.as_rows())
+
+    def test_distinct_shards_cover_distinct_flows(self, cfg):
+        """The shard split is a real partition: shard jobs of one condition
+        return disjoint flow sets whose union is the unsharded set."""
+        from repro.experiments.extension_jobs import MultihopShardJob
+        from repro.runner.spec import config_items
+
+        frozen = config_items(cfg)
+        whole = MultihopShardJob(frozen, 1, 0.8).run()
+        parts = [MultihopShardJob(frozen, 1, 0.8, shard=s, n_shards=3).run()
+                 for s in range(3)]
+        whole_keys = set(whole.segments[0][1].true.keys())
+        part_keys = [set(p.segments[0][1].true.keys()) for p in parts]
+        assert set().union(*part_keys) == whole_keys
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not (part_keys[i] & part_keys[j])
 
 
 class TestSweepSpecEnumeration:
