@@ -5,7 +5,7 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir generate-trace --packets 50000 --out regular.npz
     repro-rlir trace-info regular.npz
     repro-rlir convert regular.npz regular.csv
-    repro-rlir fig4a [--scale 0.1] [--jobs 4]   # likewise fig4b/fig4c/fig5
+    repro-rlir fig4a [--scale 0.1] [--jobs 4] [--batch]   # likewise fig4b/fig4c/fig5
     repro-rlir placement --k 4 8 16
     repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4]
     repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4]
@@ -67,6 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale (default: REPRO_SCALE or 1.0)")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--no-plot", action="store_true")
+        p.add_argument("--batch", dest="batch", action="store_true",
+                       help="columnar pipeline fast path (identical numbers, "
+                            "several times the throughput)")
+        p.add_argument("--no-batch", dest="batch", action="store_false",
+                       help="per-object reference pipeline (default)")
+        p.set_defaults(batch=False)
         _add_runner_flags(p)
         if fig == "fig5":
             p.add_argument("--seeds", type=int, default=3,
@@ -220,7 +226,8 @@ def _print_fig4(curves, show_plot: bool, std: bool = False) -> None:
 def _cmd_fig4a(args) -> int:
     from .experiments.fig4 import run_fig4ab
 
-    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args)),
+    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args),
+                           batch=args.batch),
                 not args.no_plot)
     return 0
 
@@ -228,7 +235,8 @@ def _cmd_fig4a(args) -> int:
 def _cmd_fig4b(args) -> int:
     from .experiments.fig4 import run_fig4ab
 
-    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args)),
+    _print_fig4(run_fig4ab(_fig_config(args), runner=_make_runner(args),
+                           batch=args.batch),
                 not args.no_plot, std=True)
     return 0
 
@@ -236,7 +244,8 @@ def _cmd_fig4b(args) -> int:
 def _cmd_fig4c(args) -> int:
     from .experiments.fig4 import run_fig4c
 
-    _print_fig4(run_fig4c(_fig_config(args), runner=_make_runner(args)),
+    _print_fig4(run_fig4c(_fig_config(args), runner=_make_runner(args),
+                          batch=args.batch),
                 not args.no_plot)
     return 0
 
@@ -247,7 +256,7 @@ def _cmd_fig5(args) -> int:
     from .experiments.fig5 import run_fig5
 
     rows = run_fig5(_fig_config(args), n_seeds=args.seeds,
-                    runner=_make_runner(args))
+                    runner=_make_runner(args), batch=args.batch)
     print(format_table(
         ["target util", "measured util", "baseline loss", "static diff", "adaptive diff"],
         [[f"{r.target_util:.2f}", f"{r.measured_util:.3f}", f"{r.baseline_loss:.6f}",

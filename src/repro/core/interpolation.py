@@ -26,7 +26,15 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["InterpolationBuffer", "Estimate", "linear_interpolate", "ESTIMATORS"]
+import numpy as np
+
+__all__ = [
+    "InterpolationBuffer",
+    "Estimate",
+    "linear_interpolate",
+    "interpolate_batch",
+    "ESTIMATORS",
+]
 
 Key = Tuple[int, int, int, int, int]
 
@@ -85,6 +93,84 @@ ESTIMATORS: dict = {
     "previous": _estimate_previous,
     "nearest": _estimate_nearest,
 }
+
+
+def interpolate_batch(
+    arrivals: np.ndarray,
+    ref_arrivals: np.ndarray,
+    ref_delays: np.ndarray,
+    estimator: str = "linear",
+    intervals: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batch flush of one reference stream: estimate all regulars at once.
+
+    This is the vectorized equivalent of feeding every regular arrival and
+    every reference sample of one stream through an
+    :class:`InterpolationBuffer` and concatenating the estimates (including
+    the final one-sided :meth:`~InterpolationBuffer.flush`): for each
+    regular packet, ``np.searchsorted`` locates the pair of reference
+    samples straddling it, and the per-element estimate applies the *same*
+    float operations as the scalar estimator — results are bitwise
+    identical.
+
+    Parameters
+    ----------
+    arrivals:
+        Regular-packet arrival times.
+    ref_arrivals, ref_delays:
+        Arrival times and delay samples of the (non-empty) reference
+        stream, in arrival order.
+    estimator:
+        One of :data:`ESTIMATORS`.
+    intervals:
+        Optional per-regular interval index: the number of references that
+        had *arrived* when the regular was buffered (``0`` = before the
+        first reference, ``len(refs)`` = after the last).  Callers that
+        interleave by observation order (not timestamps) pass it
+        explicitly; the default derives it from the arrival times
+        (``side="left"``: a regular observed before a coincident reference
+        is closed by it).
+    """
+    if estimator not in ESTIMATORS:
+        raise ValueError(
+            f"unknown estimator {estimator!r}; choose from {sorted(ESTIMATORS)}"
+        )
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    ref_t = np.asarray(ref_arrivals, dtype=np.float64)
+    ref_d = np.asarray(ref_delays, dtype=np.float64)
+    n_refs = len(ref_t)
+    if n_refs == 0:
+        raise ValueError("interpolate_batch needs at least one reference")
+    if intervals is None:
+        intervals = np.searchsorted(ref_t, arrivals, side="left")
+    else:
+        intervals = np.asarray(intervals)
+
+    # straddling samples per element (indices clipped at the edges; the
+    # gathered values are ignored there via the np.where selections below)
+    i_prev = np.clip(intervals - 1, 0, n_refs - 1)
+    i_next = np.clip(intervals, 0, n_refs - 1)
+    t_prev, d_prev = ref_t[i_prev], ref_d[i_prev]
+    t_next, d_next = ref_t[i_next], ref_d[i_next]
+
+    if estimator == "previous":
+        interior = d_prev
+    elif estimator == "nearest":
+        interior = np.where(
+            (arrivals - t_prev) <= (t_next - arrivals), d_prev, d_next
+        )
+    else:  # linear — same op order as linear_interpolate(), elementwise
+        span = t_next - t_prev
+        with np.errstate(divide="ignore", invalid="ignore"):
+            w = (arrivals - t_prev) / span
+            interior = np.where(
+                span <= 0.0, 0.5 * (d_prev + d_next), d_prev + w * (d_next - d_prev)
+            )
+    # edges: before the first reference -> its delay; after the last
+    # (the flush tail) -> the last delay
+    return np.where(
+        intervals <= 0, ref_d[0], np.where(intervals >= n_refs, ref_d[n_refs - 1], interior)
+    )
 
 
 class InterpolationBuffer:

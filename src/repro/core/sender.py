@@ -28,12 +28,17 @@ from typing import Callable, Dict, List, Optional
 
 from ..net.packet import Packet, PacketKind
 from ..sim.clock import Clock, PerfectClock
-from .injection import InjectionPolicy, StaticInjection
+from .injection import AdaptiveInjection, InjectionPolicy, StaticInjection
 from .utilization import EwmaUtilization
 
 __all__ = ["RefTemplate", "RliSender", "REFERENCE_PACKET_SIZE"]
 
 REFERENCE_PACKET_SIZE = 64  # minimum-size probe, as in RLI
+
+
+def _classify_single(packet: Packet) -> Optional[int]:
+    """Default classifier: every observed packet belongs to path class 0."""
+    return 0
 
 
 class RefTemplate:
@@ -98,7 +103,7 @@ class RliSender:
         self.templates = templates if templates is not None else {0: RefTemplate(0, 0)}
         if not self.templates:
             raise ValueError("sender needs at least one reference template")
-        self._classify = classify or (lambda packet: 0)
+        self._classify = classify or _classify_single
         self.clock = clock or PerfectClock()
         self.utilization = EwmaUtilization(link_rate_bps, window=util_window, alpha=util_alpha)
         self._counters: Dict[int, int] = {cls: 0 for cls in self.templates}
@@ -123,6 +128,59 @@ class RliSender:
             return None
         self._counters[cls] = 0
         return [self.make_reference(cls, now)]
+
+    @property
+    def batch_capable(self) -> bool:
+        """True when the inlined fast scan is an exact stand-in.
+
+        The columnar pipeline fast path carries no per-packet objects for
+        regular traffic and inlines the per-packet sender arithmetic into
+        its queue scan, so it requires (a) the default single-class
+        classifier — custom classifiers inspect the packet — and (b) a
+        known-pure injection policy whose ``gap`` is a function of the
+        utilization estimate alone (the estimate only changes at EWMA
+        window folds, which is what makes the inlining exact).  Anything
+        else keeps the per-object reference path.
+        """
+        return (
+            self._classify is _classify_single
+            and type(self.policy) in (StaticInjection, AdaptiveInjection)
+        )
+
+    # ------------------------------------------------------------------
+    # inlined-scan state (columnar fast path)
+
+    def fast_scan_state(self) -> tuple:
+        """Mutable scalars an inlined observation scan advances.
+
+        Returns ``(seen_any, window_start, window_bytes, estimate, count,
+        has_class0)``.  A scanner holding these as locals must apply, per
+        observed packet, exactly the update algebra of :meth:`on_regular`
+        with the default classifier (fold EWMA windows crossed by the
+        arrival, add the packet's bytes, bump the 1-and-n counter against
+        ``policy.gap(estimate)`` — which only needs re-evaluating after a
+        fold — and emit :meth:`make_reference` on trigger), then hand the
+        scalars back via :meth:`fast_scan_commit`.  The equivalence suite
+        asserts the inlined scan is bitwise-identical to per-packet
+        :meth:`on_regular` calls.
+        """
+        u = self.utilization
+        return (u._seen_any, u._window_start, u._window_bytes, u._estimate,
+                self._counters.get(0, 0), 0 in self._counters)
+
+    def fast_scan_commit(self, seen_any: bool, window_start: float,
+                         window_bytes: int, estimate: float, count: int,
+                         regulars_seen: int) -> None:
+        """Write an inlined scan's advanced scalars back (see
+        :meth:`fast_scan_state`)."""
+        u = self.utilization
+        u._seen_any = seen_any
+        u._window_start = window_start
+        u._window_bytes = window_bytes
+        u._estimate = estimate
+        if 0 in self._counters:
+            self._counters[0] = count
+        self.regulars_seen += regulars_seen
 
     def make_reference(self, path_class: int, now: float) -> Packet:
         """Build a timestamped reference packet for *path_class*."""

@@ -81,6 +81,7 @@ class Packet:
         "dropped",
         "hops",
         "path",
+        "_flow_key",
     )
 
     def __init__(
@@ -114,13 +115,24 @@ class Packet:
         self.dropped = False
         self.hops = 0  # queues traversed so far
         self.path: Tuple[int, ...] = ()  # node ids traversed (event engine)
+        self._flow_key: Optional[Tuple[int, int, int, int, int]] = None
 
     # ------------------------------------------------------------------
 
     @property
     def flow_key(self) -> Tuple[int, int, int, int, int]:
-        """The 5-tuple identifying this packet's flow."""
-        return (self.src, self.dst, self.sport, self.dport, self.proto)
+        """The 5-tuple identifying this packet's flow (computed once).
+
+        The tuple is cached on first access — demux, receiver and flow-stats
+        hot loops read it several times per packet.  Header fields must not
+        be mutated after the first read; transformations that rewrite
+        headers (e.g. ``Trace.remap_addresses``) operate on fresh clones,
+        whose cache starts empty.
+        """
+        key = self._flow_key
+        if key is None:
+            key = self._flow_key = (self.src, self.dst, self.sport, self.dport, self.proto)
+        return key
 
     @property
     def is_reference(self) -> bool:

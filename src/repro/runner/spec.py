@@ -49,7 +49,9 @@ class JobSpec:
     flow tables (memory ablation); ``quantiles`` turns on streaming P²
     per-flow quantile tracking (tail-accuracy study); ``aqm="red"`` swaps
     the tail-drop bottleneck queues for RED (AQM study, drop-decision seed
-    derived from ``run_seed``).
+    derived from ``run_seed``); ``batch`` selects the columnar pipeline
+    fast path (bitwise-identical results; part of the cache identity so
+    timings stay honest per path).
     """
 
     config: ConfigItems
@@ -63,6 +65,7 @@ class JobSpec:
     max_flows: Optional[int] = None
     quantiles: Tuple[float, ...] = ()
     aqm: Optional[str] = None
+    batch: bool = False
 
     @classmethod
     def from_config(cls, cfg, scheme, model, target_util, **overrides) -> "JobSpec":
@@ -96,17 +99,25 @@ class JobSpec:
             "max_flows": self.max_flows,
             "quantiles": self.quantiles,
             "aqm": self.aqm,
+            "batch": self.batch,
         }
 
     def prepare(self) -> None:
         """Pre-build the shared workload (traces) in the parent process.
 
         Called by the runner before forking workers so children inherit the
-        generated traces instead of regenerating them per process.
+        generated traces instead of regenerating them per process.  Object-
+        path jobs additionally materialize the per-object packet lists here
+        (traces are lazily columnar now) so that work is also done once,
+        pre-fork, instead of per child; batch jobs leave the traces
+        columnar — they never touch the objects.
         """
         from ..experiments.workloads import workload_for
 
-        workload_for(self.config)
+        workload = workload_for(self.config)
+        if not self.batch:
+            workload.regular.packets
+            workload.cross.packets
 
     def run(self):
         """Execute the condition; returns a picklable ConditionSummary."""
@@ -133,6 +144,7 @@ class SweepSpec:
     axis_order: Tuple[str, ...] = _AXES
     static_n: Optional[int] = None
     clock_offset: float = 0.0
+    batch: bool = False
 
     @classmethod
     def from_config(cls, cfg, **axes) -> "SweepSpec":
@@ -172,6 +184,7 @@ class SweepSpec:
                 run_seed=a["run_seed"],
                 static_n=self.static_n,
                 clock_offset=self.clock_offset,
+                batch=self.batch,
             )
             for a in assignments
         ]

@@ -1,6 +1,7 @@
 """Workload substrate: synthetic traces, division, cross-traffic injection,
 and YAF-like flow metering."""
 
+from .batch import PacketBatch
 from .crosstraffic import (
     BurstyModel,
     CalibrationError,
@@ -15,6 +16,7 @@ from .synthetic import TraceConfig, generate_fattree_trace, generate_trace
 from .trace import Trace
 
 __all__ = [
+    "PacketBatch",
     "load_csv",
     "save_csv",
     "BurstyModel",

@@ -33,6 +33,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..net.packet import Packet, PacketKind
+from .batch import PacketBatch
 from .trace import Trace
 
 __all__ = [
@@ -67,6 +68,17 @@ class UniformModel:
                 q.kind = PacketKind.CROSS
                 out.append((q.ts, q))
         return out
+
+    def arrivals_batch(self, cross: Trace) -> PacketBatch:
+        """Columnar :meth:`arrivals`: same seeded selection, no objects.
+
+        The random draw is identical (one ``rng.random(len(cross))``
+        vector), so exactly the packets the per-object model would clone
+        are selected; ``ts`` doubles as the Switch-2 arrival time.
+        """
+        rng = np.random.default_rng(self.seed)
+        keep = rng.random(len(cross)) < self.prob
+        return cross.batch.take(np.flatnonzero(keep)).with_kind(PacketKind.CROSS)
 
     def __repr__(self) -> str:
         return f"UniformModel(prob={self.prob}, seed={self.seed})"
@@ -119,6 +131,33 @@ class BurstyModel:
             out.append((arrival, q))
         out.sort(key=lambda item: item[0])
         return out
+
+    def arrivals_batch(self, cross: Trace) -> PacketBatch:
+        """Columnar :meth:`arrivals`: identical selection, folding and order.
+
+        The fold is the per-packet arithmetic applied elementwise
+        (``divmod`` and the window remap are the same float ops), stragglers
+        past the span are dropped the same way, and the final stable sort
+        matches the object path's stable ``list.sort`` tie behavior.
+        """
+        if len(cross) == 0:
+            return PacketBatch.empty()
+        span = cross.duration or 1.0
+        duty = self.on_duration / self.period
+        rng = np.random.default_rng(self.seed)
+        keep = rng.random(len(cross)) < self.prob
+        batch = cross.batch.take(np.flatnonzero(keep))
+        compressed = batch.ts * duty  # position on the all-ON timeline
+        window, offset = np.divmod(compressed, self.on_duration)
+        arrival = window * self.period + offset
+        inside = arrival < span
+        batch = batch.take(np.flatnonzero(inside))
+        arrival = arrival[inside]
+        order = np.argsort(arrival, kind="stable")
+        return batch.take(order).replace(
+            ts=arrival[order],
+            kind=np.full(len(order), int(PacketKind.CROSS), dtype=np.int64),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -18,12 +18,13 @@ Two front-ends are provided:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.addressing import ip_to_int
-from ..net.packet import Packet, PacketKind
+from ..net.packet import PacketKind
+from .batch import PacketBatch
 from .distributions import BoundedPareto, PacketSizeMix
 from .trace import Trace
 
@@ -177,19 +178,24 @@ def _materialize(
     dports: np.ndarray,
     name: str,
 ) -> Trace:
+    """Expand per-flow draws into a columnar, batch-backed trace.
+
+    The random draws (and thus the realized trace values) are identical to
+    the historical per-object construction; only the representation changed
+    — packets stay as parallel arrays until a per-object consumer asks the
+    trace to materialize them.
+    """
     flow_idx, times = _flow_packet_times(rng, cfg, len(srcs))
     pkt_sizes = cfg.sizes.sample(rng, len(times))
-    packets: List[Packet] = [
-        Packet(
-            src=int(srcs[f]),
-            dst=int(dsts[f]),
-            sport=int(sports[f]),
-            dport=int(dports[f]),
-            proto=6,
-            size=int(pkt_sizes[i]),
-            ts=float(times[i]),
-            kind=PacketKind.REGULAR,
-        )
-        for i, f in enumerate(flow_idx)
-    ]
-    return Trace(packets, name=name, check_sorted=False)
+    n = len(times)
+    batch = PacketBatch(
+        src=srcs[flow_idx],
+        dst=dsts[flow_idx],
+        sport=sports[flow_idx],
+        dport=dports[flow_idx],
+        proto=np.full(n, 6, dtype=np.int64),
+        size=pkt_sizes,
+        ts=times,
+        kind=np.full(n, int(PacketKind.REGULAR), dtype=np.int64),
+    )
+    return Trace(batch=batch, name=name, check_sorted=False)

@@ -29,8 +29,14 @@ def golden_config():
     return ExperimentConfig(scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
 
 
-def compute_fig4ab():
-    """Figure 4(a)/4(b) summary rows (strings/ints, exact)."""
+def compute_fig4ab(batch=False):
+    """Figure 4(a)/4(b) summary rows (strings/ints, exact).
+
+    ``batch=True`` drives the same grid through the columnar pipeline fast
+    path; the golden tests assert it reproduces the fixture bit-for-bit
+    (the fixtures themselves are always regenerated on the reference
+    per-object path).
+    """
     from repro.experiments.fig4 import run_fig4ab
 
     return {
@@ -38,12 +44,12 @@ def compute_fig4ab():
         "seed": GOLDEN_SEED,
         "curves": [
             {"label": c.label, "row": c.summary_row()}
-            for c in run_fig4ab(golden_config())
+            for c in run_fig4ab(golden_config(), batch=batch)
         ],
     }
 
 
-def compute_fig5():
+def compute_fig5(batch=False):
     """Figure 5 rows (raw floats — simulation is bit-deterministic)."""
     from repro.experiments.fig5 import run_fig5
 
@@ -61,7 +67,7 @@ def compute_fig5():
                 "static_refs": r.static_refs,
                 "adaptive_refs": r.adaptive_refs,
             }
-            for r in run_fig5(golden_config(), n_seeds=GOLDEN_FIG5_SEEDS)
+            for r in run_fig5(golden_config(), n_seeds=GOLDEN_FIG5_SEEDS, batch=batch)
         ],
     }
 

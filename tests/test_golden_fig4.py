@@ -43,3 +43,15 @@ def test_summary_rows_exactly_match(golden, current):
             f"{want['label']}: reproduction numbers shifted — if intentional, "
             f"regenerate tests/golden/ via tests/make_golden.py"
         )
+
+
+def test_batch_fast_path_reproduces_the_golden_rows(golden):
+    """The columnar pipeline must hit the per-object fixtures bit-for-bit."""
+    batched = compute_fig4ab(batch=True)
+    assert [c["label"] for c in batched["curves"]] == \
+        [c["label"] for c in golden["curves"]]
+    for got, want in zip(batched["curves"], golden["curves"]):
+        assert got["row"] == want["row"], (
+            f"{want['label']}: batch pipeline diverged from the golden "
+            f"(object-path) numbers — the fast path must be bitwise-identical"
+        )

@@ -48,3 +48,15 @@ def test_rows_exactly_match(golden, current):
             f"fig5 row at target_util={want['target_util']} shifted — if "
             f"intentional, regenerate tests/golden/ via tests/make_golden.py"
         )
+
+
+def test_batch_fast_path_reproduces_the_golden_rows(golden):
+    """The columnar pipeline must hit the per-object fixtures bit-for-bit
+    (raw-float comparison, including the scheme=None baseline runs)."""
+    batched = compute_fig5(batch=True)
+    assert len(batched["rows"]) == len(golden["rows"])
+    for got, want in zip(batched["rows"], golden["rows"]):
+        assert got == want, (
+            f"fig5 batch row at target_util={want['target_util']} diverged "
+            f"from the golden (object-path) numbers"
+        )
