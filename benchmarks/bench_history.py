@@ -1,0 +1,84 @@
+"""Per-commit history for the tracked ``BENCH_pipeline.json`` trajectory.
+
+The bench file used to be overwritten on every run, so the repo only ever
+recorded the *latest* numbers.  :func:`merge_bench_history` keeps both
+views in one document:
+
+* ``results`` — the latest-wins flat view the CI smoke lanes assert on
+  (unchanged shape, so existing consumers keep working);
+* ``history`` — an append-only list of run entries, each keyed by git SHA
+  and UTC timestamp, so the perf trajectory across commits survives in
+  the tracked file instead of only in CI artifacts.
+
+The merge is a pure function over plain dicts (unit-tested from the main
+suite); the I/O lives in the bench fixture that calls it.
+"""
+
+import subprocess
+import time
+
+HISTORY_LIMIT = 200  # runs kept; plenty for a per-commit trajectory
+
+
+def git_sha(repo_root) -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root), capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def utc_timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def make_entry(results: dict, *, sha: str, timestamp: str, scale: float,
+               python: str, numpy: str) -> dict:
+    """One history entry: this run's provenance plus its results."""
+    return {
+        "git_sha": sha,
+        "timestamp": timestamp,
+        "scale": scale,
+        "python": python,
+        "numpy": numpy,
+        "results": dict(results),
+    }
+
+
+def merge_bench_history(payload, entry: dict, limit: int = HISTORY_LIMIT) -> dict:
+    """Append *entry* to *payload*'s history, refreshing the latest view.
+
+    * ``history`` grows by one entry per run (bounded by *limit*, oldest
+      dropped first); consecutive runs on one commit each get their own
+      entry — the timestamp disambiguates.
+    * top-level ``results`` stays latest-wins per bench name: a partial
+      run (e.g. ``-k`` selecting one bench) refreshes only the benches it
+      ran, exactly as before.
+    * top-level provenance (``scale``/``python``/``numpy``/``git_sha``/
+      ``timestamp``) describes the newest run.
+
+    A malformed or pre-history *payload* (older format, hand edits) is
+    absorbed: its ``results`` seed the latest view and the history simply
+    starts at this entry.
+    """
+    merged = dict(payload) if isinstance(payload, dict) else {}
+    history = [h for h in merged.get("history", ()) if isinstance(h, dict)]
+    history.append(entry)
+    results = dict(merged.get("results") or {})
+    results.update(entry["results"])
+    merged.update(
+        bench="pipeline_throughput",
+        scale=entry["scale"],
+        python=entry["python"],
+        numpy=entry["numpy"],
+        git_sha=entry["git_sha"],
+        timestamp=entry["timestamp"],
+        results=results,
+        history=history[-limit:],
+    )
+    return merged

@@ -6,10 +6,14 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir trace-info regular.npz
     repro-rlir convert regular.npz regular.csv
     repro-rlir fig4a [--scale 0.1] [--jobs 4] [--batch]   # likewise fig4b/fig4c/fig5
+    repro-rlir fig4a --backend distributed --jobs 2       # embedded cluster
     repro-rlir placement --k 4 8 16
     repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4]
     repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4]
     repro-rlir cache info|clear
+    repro-rlir broker --listen 0.0.0.0:7077               # standing cluster…
+    repro-rlir worker --connect HOST:7077                 # …one per machine
+    repro-rlir fig4a --broker HOST:7077                   # …drive it
 
 Experiment subcommands print the same rows/series the paper's figures plot
 (and the benches assert on), plus terminal CDF plots.  Their condition
@@ -20,6 +24,14 @@ a repeated invocation answers from the cache in milliseconds.  For the
 ``extensions`` and ``localize`` studies ``--shards S`` additionally splits
 each condition's per-flow estimation over S flow shards with bitwise
 identical output (see ``repro.core.replay``).
+
+``--backend`` picks the execution backend explicitly: ``serial``,
+``process`` (the multiprocessing pool ``--jobs`` implies), or
+``distributed`` — a broker/worker cluster (see ``repro.distrib``) that is
+either embedded (spawning ``--jobs`` local workers) or external
+(``--broker HOST:PORT``, pointing at a ``repro-rlir broker`` with
+``repro-rlir worker`` processes attached from any number of machines).
+Every backend prints byte-identical experiment output.
 """
 
 from __future__ import annotations
@@ -88,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default: .repro-cache)")
 
+    wrk = sub.add_parser("worker", help="run one distributed-sweep worker")
+    wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="broker address to join")
+    wrk.add_argument("--cache-dir", default=None,
+                     help="shared result cache to consult/publish (optional)")
+    wrk.add_argument("--heartbeat", type=float, default=2.0,
+                     help="seconds between liveness heartbeats (default 2)")
+    wrk.add_argument("--authkey", default=None,
+                     help="cluster auth secret (default: REPRO_DISTRIB_AUTHKEY "
+                          "env or built-in)")
+
+    brk = sub.add_parser("broker", help="run a standalone sweep broker")
+    brk.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                     help="bind address; port 0 picks one (default 127.0.0.1:0)")
+    brk.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                     help="seconds of worker silence before requeueing its "
+                          "jobs (default 10)")
+    brk.add_argument("--max-retries", type=int, default=2,
+                     help="chunk retry budget before structured failure "
+                          "(default 2)")
+    brk.add_argument("--authkey", default=None,
+                     help="cluster auth secret (default: REPRO_DISTRIB_AUTHKEY "
+                          "env or built-in)")
+
     ext = sub.add_parser("extensions", help="run the extension studies")
     ext.add_argument("studies", nargs="*", default=[], metavar="STUDY",
                      help=f"studies to run (default: all of "
@@ -127,6 +163,14 @@ def _add_runner_flags(p: argparse.ArgumentParser, shards: bool = False) -> None:
     """Sweep-runner knobs shared by every experiment subcommand."""
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="worker processes for the condition sweep (default 1)")
+    p.add_argument("--backend", choices=("auto", "serial", "process", "distributed"),
+                   default="auto",
+                   help="execution backend (default auto: serial for --jobs 1, "
+                        "a process pool otherwise; distributed runs a "
+                        "broker/worker cluster)")
+    p.add_argument("--broker", default=None, metavar="HOST:PORT",
+                   help="drive an external distributed broker instead of "
+                        "embedding one (implies --backend distributed)")
     p.add_argument("--no-cache", action="store_true",
                    help="skip the on-disk result cache")
     p.add_argument("--cache-dir", default=None,
@@ -198,12 +242,20 @@ def _fig_config(args):
 
 
 def _make_runner(args):
-    from .runner import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache
+    from .runner import DEFAULT_CACHE_DIR, ResultCache, make_runner
 
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
-    return ParallelRunner(jobs=args.jobs, cache=cache)
+    backend = getattr(args, "backend", "auto")
+    broker = getattr(args, "broker", None)
+    progress = None
+    if backend == "distributed" or broker is not None:
+        from .distrib.progress import ProgressPrinter
+
+        progress = ProgressPrinter()  # stderr only: stdout stays diffable
+    return make_runner(backend=backend, jobs=args.jobs, cache=cache,
+                       broker=broker, progress=progress)
 
 
 def _print_fig4(curves, show_plot: bool, std: bool = False) -> None:
@@ -400,6 +452,45 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from .distrib.protocol import parse_address
+    from .distrib.worker import worker_main
+
+    try:
+        parse_address(args.connect)
+    except ValueError as exc:
+        print(f"repro-rlir worker: error: {exc}", file=sys.stderr)
+        return 2
+    return worker_main(
+        connect=args.connect,
+        cache_dir=args.cache_dir,
+        heartbeat=args.heartbeat,
+        authkey=args.authkey,
+    )
+
+
+def _cmd_broker(args) -> int:
+    from .distrib.broker import Broker
+    from .distrib.protocol import authkey_from_env, format_address, parse_address
+    from .runner.cache import code_fingerprint
+
+    broker = Broker(
+        address=parse_address(args.listen),
+        authkey=authkey_from_env(args.authkey),
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_retries=args.max_retries,
+    )
+    print(f"broker listening on {format_address(broker.address)} "
+          f"(code {code_fingerprint()[:12]}…)", flush=True)
+    try:
+        broker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        broker.close()
+    return 0
+
+
 _COMMANDS = {
     "generate-trace": _cmd_generate_trace,
     "trace-info": _cmd_trace_info,
@@ -412,12 +503,25 @@ _COMMANDS = {
     "extensions": _cmd_extensions,
     "localize": _cmd_localize,
     "cache": _cmd_cache,
+    "worker": _cmd_worker,
+    "broker": _cmd_broker,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    broker = getattr(args, "broker", None)
+    if broker is not None:
+        from .distrib.protocol import parse_address
+        from .runner.backends import validate_backend_options
+
+        try:
+            validate_backend_options(getattr(args, "backend", "auto"), broker)
+            parse_address(broker)
+        except ValueError as exc:
+            parser.error(str(exc))
     return _COMMANDS[args.command](args)
 
 

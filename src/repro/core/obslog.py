@@ -1,0 +1,138 @@
+"""Array-backed observation logs: columns instead of per-event tuples.
+
+A recorded receiver (``RliReceiver(observation_log=…)``) appends one event
+per observed packet — ``(REF_OBS, stream, now, delay)`` or ``(REG_OBS,
+stream, now, flow_key, truth)``.  The tuple representation costs ~200
+bytes per event in object headers and pointers; at trace scale a single
+condition's log is millions of events, which bloats the prepared-artifact
+memory that forked shard workers inherit and that distributed workers
+rebuild per process.
+
+:class:`ObservationColumns` stores the same stream as eight flat typed
+columns (tag, stream, time, value, and the five flow-key fields) — ~49
+bytes per event, no per-event objects, and genuinely copy-on-write under
+``fork`` (a tuple log's reference counts dirty its pages the moment a
+child iterates it).  Iteration yields the *exact* tuples the list mode
+would hold — every ``float`` and ``int`` round-trips bit-exactly through
+the typed arrays — so replaying either representation produces
+byte-identical tables, which the equivalence suite asserts.
+
+Tuple mode (a plain ``list``) stays the compatibility default everywhere;
+pass ``"array"`` to the deployments' ``record_observations=`` knob (or an
+:class:`ObservationColumns` straight to a receiver) to opt in.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Tuple, Union
+
+from .receiver import REF_OBS, REG_OBS
+
+__all__ = ["ObservationColumns", "make_observation_log"]
+
+_NO_KEY = (0, 0, 0, 0, 0)  # key columns for reference rows (never read back)
+
+
+class ObservationColumns:
+    """A columnar observation log with the list API receivers use.
+
+    Only ``append``, ``len`` and iteration are needed by the recording and
+    replay machinery; iteration reconstructs the canonical event tuples.
+    """
+
+    __slots__ = ("_tags", "_streams", "_times", "_values", "_keys")
+
+    def __init__(self, events=()):
+        self._tags = array("b")
+        self._streams = array("q")
+        self._times = array("d")
+        self._values = array("d")
+        self._keys = tuple(array("q") for _ in range(5))
+        for event in events:
+            self.append(event)
+
+    # ------------------------------------------------------------------
+
+    def append(self, event: tuple) -> None:
+        tag = event[0]
+        if tag == REF_OBS:
+            _, stream, now, value = event
+            key = _NO_KEY
+        elif tag == REG_OBS:
+            _, stream, now, key, value = event
+        else:
+            raise ValueError(f"unknown observation event tag: {tag!r}")
+        self._tags.append(tag)
+        self._streams.append(stream)
+        self._times.append(now)
+        self._values.append(value)
+        for column, field in zip(self._keys, key):
+            column.append(field)
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __iter__(self) -> Iterator[tuple]:
+        keys = self._keys
+        for i, tag in enumerate(self._tags):
+            if tag == REF_OBS:
+                yield (REF_OBS, self._streams[i], self._times[i], self._values[i])
+            else:
+                yield (
+                    REG_OBS,
+                    self._streams[i],
+                    self._times[i],
+                    (keys[0][i], keys[1][i], keys[2][i], keys[3][i], keys[4][i]),
+                    self._values[i],
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes held by the columns (itemsize × length each)."""
+        columns = (self._tags, self._streams, self._times, self._values, *self._keys)
+        return sum(len(c) * c.itemsize for c in columns)
+
+    def arrays(self) -> dict:
+        """Zero-copy numpy views of the columns, for analysis tooling."""
+        import numpy as np
+
+        return {
+            "tag": np.frombuffer(self._tags, dtype=np.int8),
+            "stream": np.frombuffer(self._streams, dtype=np.int64),
+            "time": np.frombuffer(self._times, dtype=np.float64),
+            "value": np.frombuffer(self._values, dtype=np.float64),
+            "key": tuple(
+                np.frombuffer(column, dtype=np.int64) for column in self._keys
+            ),
+        }
+
+    # typed arrays pickle compactly by value; nothing special needed, but
+    # keep the state explicit so __slots__ classes stay pickle-stable
+    def __getstate__(self):
+        return (self._tags, self._streams, self._times, self._values, self._keys)
+
+    def __setstate__(self, state):
+        self._tags, self._streams, self._times, self._values, self._keys = state
+
+    def __repr__(self) -> str:
+        return f"ObservationColumns(events={len(self)}, bytes={self.nbytes})"
+
+
+def make_observation_log(mode: Union[bool, str, None]):
+    """The log object for a ``record_observations`` setting.
+
+    ``False``/``None`` → no recording; ``True``/``"tuple"`` → a plain list
+    (the compatibility default); ``"array"`` → :class:`ObservationColumns`.
+    """
+    if mode is None or mode is False:
+        return None
+    if mode is True or mode == "tuple":
+        return []
+    if mode == "array":
+        return ObservationColumns()
+    raise ValueError(
+        f"record_observations must be False, True, 'tuple' or 'array': {mode!r}"
+    )

@@ -65,11 +65,14 @@ class RliReceiver:
         (:attr:`flow_estimated_quantiles` / :attr:`flow_true_quantiles`) —
         the tail view mean/σ cannot give.
     observation_log:
-        Optional list the receiver appends its post-demux observation
-        events to (see :mod:`repro.core.replay`).  A recorded log can be
-        replayed — in full or restricted to one flow shard — to rebuild
-        this receiver's per-flow tables without re-running the simulation;
-        the within-condition sharding of the sweep runner is built on it.
+        Optional appendable log the receiver writes its post-demux
+        observation events to (see :mod:`repro.core.replay`) — a plain
+        list, or a columnar :class:`~repro.core.obslog.ObservationColumns`
+        for the same events at a fraction of the memory.  A recorded log
+        can be replayed — in full or restricted to one flow shard — to
+        rebuild this receiver's per-flow tables without re-running the
+        simulation; the within-condition sharding of the sweep runner
+        (serial, process-pool, or distributed) is built on it.
     record_only:
         With an ``observation_log``, skip the live estimation work
         (interpolation buffers and flow tables stay empty): the log is the

@@ -8,11 +8,16 @@ stage embarrassingly parallel *by flow* even though the simulation that
 produced the observations is strictly sequential.
 
 This module exploits that: a receiver created with ``observation_log=[...]``
-records its post-demux event stream during one (sequential, memoized)
-simulation; :func:`replay_observations` then rebuilds the per-flow tables
-from the log — optionally restricted to one flow shard (every shard replays
-all reference events but only its own flows' regular events) — and
+(a list, or the columnar :class:`~repro.core.obslog.ObservationColumns` —
+any appendable iterable of event tuples) records its post-demux event
+stream during one (sequential, memoized) simulation;
+:func:`replay_observations` then rebuilds the per-flow tables from the log
+— optionally restricted to one flow shard (every shard replays all
+reference events but only its own flows' regular events) — and
 :func:`merge_shard_tables` reassembles the shards in sorted-key order.
+:func:`replay_observations_multi` replays a *chunk* of shards in one pass
+(the dispatch unit of the distributed backend) with bitwise-identical
+per-shard output.
 
 Because shard membership is a pure function of the flow key
 (:func:`~repro.traffic.divider.flow_shard`) and each flow's samples are
@@ -29,8 +34,8 @@ from .flowstats import FlowStatsTable, StreamingStats
 from .interpolation import InterpolationBuffer
 from .receiver import REF_OBS, REG_OBS
 
-__all__ = ["ReplayTables", "replay_observations", "merge_shard_tables",
-           "pooled_stats"]
+__all__ = ["ReplayTables", "replay_observations", "replay_observations_multi",
+           "merge_shard_tables", "pooled_stats"]
 
 
 class ReplayTables:
@@ -87,6 +92,70 @@ def replay_observations(
             estimated.add(est.key, est.estimated)
         unestimated += buffer.unestimated
     return ReplayTables(estimated, true, unestimated)
+
+
+def replay_observations_multi(
+    events: Sequence[tuple],
+    estimator: str = "linear",
+    shards: Sequence[int] = (0,),
+    n_shards: int = 1,
+) -> Dict[int, "ReplayTables"]:
+    """Replay several flow shards in **one pass** over the log.
+
+    The shard-chunk envelope of the distributed backend: a worker handed a
+    chunk of same-condition shard jobs replays all of its shards in a
+    single scan instead of one scan per shard (reference events — the
+    expensive interpolation state — are ~1 % of a log, so a k-shard chunk
+    costs ≈1 pass, not k).  Each shard keeps its own buffers and tables
+    and sees exactly the event subsequence :func:`replay_observations`
+    would feed it, in the same order — so every per-shard result is
+    **bitwise identical** to an individual replay, which the distributed
+    determinism suite asserts.
+    """
+    shards = tuple(shards)
+    if len(set(shards)) != len(shards):
+        raise ValueError(f"duplicate shards in chunk: {shards}")
+    for shard in shards:
+        if not 0 <= shard < n_shards:
+            raise ValueError(f"shard must be in [0, {n_shards}): {shard}")
+    buffers: Dict[int, Dict[int, InterpolationBuffer]] = {s: {} for s in shards}
+    estimated: Dict[int, FlowStatsTable] = {s: FlowStatsTable() for s in shards}
+    true: Dict[int, FlowStatsTable] = {s: FlowStatsTable() for s in shards}
+    unestimated: Dict[int, int] = {s: 0 for s in shards}
+    for event in events:
+        tag = event[0]
+        if tag == REF_OBS:
+            _, stream, now, delay = event
+            for shard in shards:
+                shard_buffers = buffers[shard]
+                buffer = shard_buffers.get(stream)
+                if buffer is None:
+                    buffer = shard_buffers[stream] = InterpolationBuffer(estimator)
+                add = estimated[shard].add
+                for est in buffer.add_reference(now, delay):
+                    add(est.key, est.estimated)
+        elif tag == REG_OBS:
+            _, stream, now, key, truth = event
+            shard = flow_shard(key, n_shards) if n_shards > 1 else 0
+            shard_buffers = buffers.get(shard)
+            if shard_buffers is None:
+                continue
+            buffer = shard_buffers.get(stream)
+            if buffer is None:
+                buffer = shard_buffers[stream] = InterpolationBuffer(estimator)
+            true[shard].add(key, truth)
+            buffer.add_regular(now, key, truth)
+        else:
+            raise ValueError(f"unknown observation event tag: {tag!r}")
+    out: Dict[int, ReplayTables] = {}
+    for shard in shards:
+        for buffer in buffers[shard].values():
+            add = estimated[shard].add
+            for est in buffer.flush():
+                add(est.key, est.estimated)
+            unestimated[shard] += buffer.unestimated
+        out[shard] = ReplayTables(estimated[shard], true[shard], unestimated[shard])
+    return out
 
 
 def merge_shard_tables(tables: Iterable[FlowStatsTable]) -> FlowStatsTable:

@@ -1,0 +1,47 @@
+"""Distributed sweep execution: broker, workers, and a drop-in runner.
+
+The sweeps are embarrassingly parallel per condition and per flow shard,
+but :class:`~repro.runner.runner.ParallelRunner` tops out at one machine's
+``multiprocessing`` pool.  This package scales the same job model across
+machines with nothing but the stdlib:
+
+* :class:`~repro.distrib.broker.Broker` — a small TCP job queue with
+  heartbeats, dead-worker requeue (bounded retries, then structured
+  failures), shard-chunk dispatch, and live progress push;
+* :func:`~repro.distrib.worker.worker_main` — the stateless executor
+  behind ``python -m repro worker --connect HOST:PORT``, fingerprint-
+  verified so every peer runs identical simulator code;
+* :class:`~repro.distrib.runner.DistributedRunner` — the
+  :class:`ParallelRunner` interface over a cluster (embedded or external
+  broker), byte-identical results to the serial backend.
+
+Typical use::
+
+    from repro.distrib import DistributedRunner
+    from repro.experiments import ExperimentConfig, run_fig4ab
+
+    with DistributedRunner(workers=4) as runner:   # embedded broker
+        curves = run_fig4ab(ExperimentConfig(), runner=runner)
+
+or, against a standing cluster::
+
+    # on the coordinator:   python -m repro broker --listen 0.0.0.0:7077
+    # on each machine:      python -m repro worker --connect coord:7077
+    runner = DistributedRunner(broker="coord:7077")
+"""
+
+from .broker import Broker
+from .progress import ProgressPrinter, ProgressSnapshot
+from .protocol import DistributedSweepError, JobFailure
+from .runner import DistributedRunner
+from .worker import worker_main
+
+__all__ = [
+    "Broker",
+    "DistributedRunner",
+    "DistributedSweepError",
+    "JobFailure",
+    "ProgressPrinter",
+    "ProgressSnapshot",
+    "worker_main",
+]

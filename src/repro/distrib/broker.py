@@ -1,0 +1,627 @@
+"""The sweep broker: a small fault-tolerant job queue over TCP.
+
+One broker serves any number of *workers* (stateless executors started
+with ``python -m repro worker --connect HOST:PORT``) and *drivers*
+(:class:`~repro.distrib.runner.DistributedRunner` instances submitting job
+lists).  Design follows the classic batch-farming shape: the broker owns
+only queue state — jobs are pure functions of their descriptors, results
+flow straight back to the submitting driver, and the content-addressed
+:class:`~repro.runner.cache.ResultCache` (driver-side, optionally also
+worker-side on a shared filesystem) is the only persistence.
+
+Fault model
+-----------
+* **Crashed worker** — its socket EOFs; the receiver thread requeues the
+  worker's in-flight chunk immediately.
+* **Hung / partitioned worker** — heartbeats stop; the monitor thread
+  declares it dead after ``heartbeat_timeout`` and requeues the same way.
+* **Job raised** — counted like a worker loss for that chunk (the failure
+  is usually deterministic, so the retry budget bounds the damage).
+
+A chunk that fails more than ``max_retries`` times is not retried again:
+every job still outstanding in it is surfaced to its driver as a
+structured :class:`~repro.distrib.protocol.JobFailure`.  A worker declared
+dead that later reports its result anyway is harmless — per-job delivery
+is idempotent (first result wins; a job's result is a pure function of the
+job, so "first" is also "only", byte for byte).
+
+Determinism
+-----------
+The broker never merges results: it forwards ``(seq, value)`` pairs and
+the driver places them by submission index, so completion order — which
+workers raced which chunks — cannot influence the assembled sweep output.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from multiprocessing import AuthenticationError
+from multiprocessing.connection import (
+    Connection,
+    Listener,
+    answer_challenge,
+    deliver_challenge,
+)
+from typing import Dict, List, Optional, Tuple
+
+from ..runner.cache import code_fingerprint
+from .protocol import DEFAULT_AUTHKEY, chunk_jobs
+
+__all__ = ["Broker"]
+
+
+class _Peer:
+    """Connection-level state shared by workers and drivers."""
+
+    def __init__(self, peer_id: int, conn: Connection, info: dict):
+        self.id = peer_id
+        self.conn = conn
+        self.info = info or {}
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.send_lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self.send_lock:
+            self.conn.send(message)
+
+
+class _Worker(_Peer):
+    pass
+
+
+class _Driver(_Peer):
+    def __init__(self, peer_id: int, conn: Connection, info: dict):
+        super().__init__(peer_id, conn, info)
+        self.total = 0
+        self.done = 0
+        self.retries = 0
+        self.finished = False  # "done" already sent
+        self.remaining: set = set()  # seqs not yet completed or failed
+        self.failures: List[tuple] = []  # (seq, attempts, reason)
+
+
+def _record_done(driver: "_Driver", live: List[tuple]) -> None:
+    driver.done += len(live)
+
+
+def _record_failed(driver: "_Driver", live: List[tuple]) -> None:
+    driver.failures.extend(live)
+
+
+class _Chunk:
+    """One dispatch unit: a slice of a driver's jobs plus its retry state."""
+
+    __slots__ = ("id", "driver_id", "entries", "failures", "last_error")
+
+    def __init__(self, chunk_id: int, driver_id: int, entries: List[tuple]):
+        self.id = chunk_id
+        self.driver_id = driver_id
+        self.entries = entries  # [(seq, job), ...]
+        self.failures = 0
+        self.last_error: Optional[str] = None
+
+
+class Broker:
+    """Accepts workers and drivers; queues, dispatches, retries, reports.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)`` to listen on; port ``0`` picks an ephemeral port
+        (read the bound one back from :attr:`address`).
+    authkey:
+        Shared HMAC secret; peers with a different key cannot connect.
+    heartbeat_timeout:
+        Seconds of worker silence (no heartbeat, result, or ready) before
+        the monitor declares it dead and requeues its chunk.  Workers beat
+        immediately before starting a result transfer, so this must only
+        exceed the worst-case time to *ship* one chunk's results (not to
+        compute them); raise it for very slow links or huge results.
+    max_retries:
+        How many times a chunk may fail (worker death or job exception)
+        before its jobs are surfaced as structured failures.
+    fingerprint:
+        Code fingerprint to enforce on joining peers; defaults to this
+        process's :func:`~repro.runner.cache.code_fingerprint`.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        authkey: bytes = DEFAULT_AUTHKEY,
+        heartbeat_timeout: float = 10.0,
+        max_retries: int = 2,
+        fingerprint: Optional[str] = None,
+    ):
+        # No authkey on the Listener: with one, accept() would run the HMAC
+        # challenge inline in the accept loop, where a silent TCP peer (port
+        # scanner, health check, half-open connection) would wedge admission
+        # for everyone, forever.  We run the identical challenge ourselves
+        # in the per-peer thread instead, under a watchdog.
+        self._authkey = bytes(authkey)
+        self._listener = Listener(tuple(address))
+        self.address: Tuple[str, int] = self._listener.address
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_retries = max_retries
+        self.fingerprint = fingerprint or code_fingerprint()
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._chunk_ids = itertools.count(1)
+        self._workers: Dict[int, _Worker] = {}
+        self._drivers: Dict[int, _Driver] = {}
+        self._idle: set = set()
+        self._pending: deque = deque()
+        self._assignments: Dict[int, _Chunk] = {}  # worker id -> chunk
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "Broker":
+        if self._started:
+            return self
+        self._started = True
+        for target, name in (
+            (self._accept_loop, "accept"),
+            (self._dispatch_loop, "dispatch"),
+            (self._monitor_loop, "monitor"),
+        ):
+            thread = threading.Thread(
+                target=target, name=f"repro-broker-{name}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            peers = list(self._workers.values()) + list(self._drivers.values())
+            self._wake.notify_all()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for peer in peers:
+            try:
+                peer.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Broker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the standalone ``broker`` subcommand)."""
+        self.start()
+        try:
+            while not self._closed:
+                time.sleep(0.5)
+        finally:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # introspection (used by the runner and tests)
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.worker_count() >= count:
+                return True
+            time.sleep(0.05)
+        return self.worker_count() >= count
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError):
+                if self._closed:
+                    return
+                continue
+            threading.Thread(
+                target=self._serve_peer, args=(conn,), daemon=True,
+                name="repro-broker-peer",
+            ).start()
+
+    def _serve_peer(self, conn: Connection) -> None:
+        # watchdog: a peer that stalls mid-handshake (silent socket, wrong
+        # protocol) gets its connection closed, which pops the blocking
+        # recv below; only this peer's thread is ever at stake
+        handshake_done = threading.Event()
+
+        def _expire() -> None:
+            if not handshake_done.is_set():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+        watchdog = threading.Timer(10.0, _expire)
+        watchdog.daemon = True
+        watchdog.start()
+        try:
+            # the exact mutual challenge Client(address, authkey=…) expects
+            deliver_challenge(conn, self._authkey)
+            answer_challenge(conn, self._authkey)
+        except (AuthenticationError, EOFError, OSError):
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        finally:
+            handshake_done.set()
+            watchdog.cancel()
+        try:
+            if not conn.poll(10.0):
+                conn.close()
+                return
+            hello = conn.recv()
+            if not (isinstance(hello, tuple) and len(hello) == 4
+                    and hello[0] == "hello"):
+                conn.send(("reject", f"malformed hello: {hello!r}"))
+                conn.close()
+                return
+            _, role, fingerprint, info = hello
+            if role not in ("worker", "driver"):
+                conn.send(("reject", f"unknown role: {role!r}"))
+                conn.close()
+                return
+            if fingerprint != self.fingerprint:
+                conn.send((
+                    "reject",
+                    f"code fingerprint mismatch: broker runs "
+                    f"{self.fingerprint[:12]}… but this {role} runs "
+                    f"{str(fingerprint)[:12]}… — update the {role}'s checkout "
+                    f"so every peer executes identical simulator code",
+                ))
+                conn.close()
+                return
+        except (EOFError, OSError):
+            return
+        peer_id = next(self._ids)
+        if role == "worker":
+            worker = _Worker(peer_id, conn, info)
+            with self._wake:
+                if self._closed:
+                    conn.close()
+                    return
+                self._workers[peer_id] = worker
+            try:
+                worker.send(("welcome", peer_id, self.fingerprint))
+            except (OSError, ValueError):
+                self._worker_lost(worker)
+                return
+            self._broadcast_progress()
+            self._worker_loop(worker)
+        else:
+            driver = _Driver(peer_id, conn, info)
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._drivers[peer_id] = driver
+            try:
+                driver.send(("welcome", peer_id, self.fingerprint))
+            except (OSError, ValueError):
+                self._driver_lost(driver)
+                return
+            self._driver_loop(driver)
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        try:
+            while not self._closed:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    break
+                worker.last_seen = time.monotonic()
+                tag = message[0]
+                if tag == "heartbeat":
+                    continue
+                if tag == "ready":
+                    with self._wake:
+                        if worker.alive:
+                            self._idle.add(worker.id)
+                            self._wake.notify_all()
+                elif tag == "result":
+                    self._complete_chunk(worker, message[1], message[2])
+                elif tag == "error":
+                    self._chunk_error(worker, message[1], message[2])
+        finally:
+            self._worker_lost(worker)
+
+    def _complete_chunk(self, worker: _Worker, chunk_id: int,
+                        results: List[tuple]) -> None:
+        with self._wake:
+            chunk = self._assignments.get(worker.id)
+            if chunk is not None and chunk.id == chunk_id:
+                del self._assignments[worker.id]
+            else:
+                # late result from a worker we already declared dead for
+                # this chunk; results are pure so delivery stays idempotent
+                chunk = None
+            if worker.alive:
+                self._idle.add(worker.id)
+                self._wake.notify_all()
+        self._deliver(results)
+
+    def _chunk_error(self, worker: _Worker, chunk_id: int, trace: str) -> None:
+        with self._wake:
+            chunk = self._assignments.pop(worker.id, None)
+            if worker.alive:
+                self._idle.add(worker.id)
+                self._wake.notify_all()
+        if chunk is not None and chunk.id == chunk_id:
+            chunk.last_error = trace.strip().splitlines()[-1] if trace else "job raised"
+            self._requeue(chunk)
+
+    def _worker_lost(self, worker: _Worker) -> None:
+        with self._wake:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._workers.pop(worker.id, None)
+            self._idle.discard(worker.id)
+            chunk = self._assignments.pop(worker.id, None)
+            self._wake.notify_all()
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if chunk is not None:
+            chunk.last_error = f"worker {worker.id} died mid-chunk"
+            self._requeue(chunk)
+        else:
+            self._broadcast_progress()
+
+    def _requeue(self, chunk: _Chunk) -> None:
+        """Retry a failed chunk, or surface its jobs as permanent failures."""
+        with self._lock:
+            driver = self._drivers.get(chunk.driver_id)
+            if driver is None:
+                return
+            chunk.failures += 1
+            driver.retries += 1
+            chunk.entries = [e for e in chunk.entries if e[0] in driver.remaining]
+            if not chunk.entries:
+                return
+        if chunk.failures <= self.max_retries:
+            with self._wake:
+                self._pending.appendleft(chunk)  # retries jump the queue
+                self._wake.notify_all()
+            self._send_progress(driver)
+            return
+        reason = chunk.last_error or "unknown failure"
+        # every recorded failure was one dispatch attempt
+        failed = [(seq, chunk.failures, reason) for seq, _job in chunk.entries]
+        self._fail_entries(driver, failed)
+
+    def _monitor_loop(self) -> None:
+        interval = max(0.2, min(self.heartbeat_timeout / 4.0, 2.0))
+        while not self._closed:
+            time.sleep(interval)
+            now = time.monotonic()
+            with self._lock:
+                stale = [
+                    w for w in self._workers.values()
+                    if now - w.last_seen > self.heartbeat_timeout
+                ]
+            for worker in stale:
+                # declare it dead *here* — a close() alone would not wake a
+                # receiver thread blocked in recv() on a silent-but-open
+                # socket, and the chunk must requeue now.  _worker_lost is
+                # idempotent, so the receiver thread's own exit (whenever
+                # the socket finally errors) is harmless, and a result the
+                # "dead" worker still manages to send is deduplicated at
+                # delivery (first result per job wins).
+                self._worker_lost(worker)
+
+    # ------------------------------------------------------------------
+    # driver side
+
+    def _driver_loop(self, driver: _Driver) -> None:
+        try:
+            while not self._closed:
+                try:
+                    message = driver.conn.recv()
+                except (EOFError, OSError):
+                    break
+                tag = message[0]
+                if tag == "submit":
+                    self._submit(driver, message[1])
+                elif tag == "bye":
+                    break
+        finally:
+            self._driver_lost(driver)
+
+    def _submit(self, driver: _Driver, entries: List[tuple]) -> None:
+        with self._wake:
+            hint = max(len(self._workers),
+                       int(driver.info.get("workers_hint") or 0), 1)
+            chunks = [
+                _Chunk(next(self._chunk_ids), driver.id, chunk)
+                for chunk in chunk_jobs(entries, hint)
+            ]
+            driver.total += len(entries)
+            driver.finished = False
+            driver.remaining.update(seq for seq, _key, _job in entries)
+            self._pending.extend(chunks)
+            self._wake.notify_all()
+        self._send_progress(driver)
+        if not entries:
+            self._complete_entries(driver, [])  # nothing to wait for
+
+    def _driver_lost(self, driver: _Driver) -> None:
+        with self._wake:
+            self._drivers.pop(driver.id, None)
+            driver.alive = False
+            driver.remaining.clear()
+            # orphaned pending chunks are skipped at dispatch time
+        try:
+            driver.conn.close()
+        except OSError:
+            pass
+
+    def _deliver(self, results: List[tuple]) -> None:
+        """Route completed ``(tagged seq, value)`` pairs to their drivers."""
+        by_driver: Dict[int, List[tuple]] = {}
+        for (driver_id, seq), value in results:
+            by_driver.setdefault(driver_id, []).append((seq, value))
+        for driver_id, pairs in by_driver.items():
+            with self._lock:
+                driver = self._drivers.get(driver_id)
+            if driver is not None:
+                self._complete_entries(driver, pairs)
+
+    def _complete_entries(self, driver: _Driver, pairs: List[tuple]) -> None:
+        """Deliver ``(seq, value)`` results (and maybe the done signal)."""
+        self._conclude_entries(driver, "result", pairs, _record_done)
+
+    def _fail_entries(self, driver: _Driver, failed: List[tuple]) -> None:
+        """Surface ``(seq, attempts, reason)`` permanent failures."""
+        self._conclude_entries(driver, "failed", failed, _record_failed)
+
+    def _conclude_entries(self, driver: _Driver, tag: str,
+                          items: List[tuple], record) -> None:
+        """Settle jobs terminally and — atomically with that — signal done.
+
+        Every *item* leads with the job's seq; *record* books the live ones
+        onto the driver (done counter or failure list).  State update and
+        socket write happen together under the driver's send lock, so two
+        worker threads finishing simultaneously cannot interleave into
+        "done" overtaking an outcome still waiting to be written (the
+        driver stops reading at "done").  Duplicate outcomes (a worker
+        declared dead that answered anyway) are dropped here: settlement is
+        keyed by the ``remaining`` set, first outcome per job wins.
+        """
+        with driver.send_lock:
+            with self._lock:
+                live = [item for item in items if item[0] in driver.remaining]
+                for item in live:
+                    driver.remaining.discard(item[0])
+                record(driver, live)
+                finish = (driver.alive and not driver.finished
+                          and not driver.remaining)
+                if finish:
+                    driver.finished = True
+                    stats = {
+                        "total": driver.total,
+                        "done": driver.done,
+                        "failed": len(driver.failures),
+                        "retries": driver.retries,
+                    }
+            try:
+                if live:
+                    driver.conn.send((tag, live))
+                if finish:
+                    driver.conn.send(("progress", self._progress_snapshot(driver)))
+                    driver.conn.send(("done", stats))
+            except (OSError, ValueError):
+                pass  # the driver's receive loop will notice and clean up
+        if not finish:
+            self._send_progress(driver)
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._closed and not (self._pending and self._idle):
+                    self._wake.wait(0.5)
+                if self._closed:
+                    return
+                chunk = self._pending.popleft()
+                driver = self._drivers.get(chunk.driver_id)
+                if driver is None:
+                    continue  # submitting driver disconnected
+                chunk.entries = [
+                    e for e in chunk.entries if e[0] in driver.remaining
+                ]
+                if not chunk.entries:
+                    continue  # everything already delivered or failed
+                worker_id = min(self._idle)
+                self._idle.discard(worker_id)
+                worker = self._workers[worker_id]
+                self._assignments[worker_id] = chunk
+                payload = (
+                    "jobs",
+                    chunk.id,
+                    [((chunk.driver_id, seq), job) for seq, job in chunk.entries],
+                )
+            try:
+                worker.send(payload)
+            except (OSError, ValueError):
+                self._worker_lost(worker)  # requeues the chunk
+                continue
+            self._send_progress(driver)
+
+    # ------------------------------------------------------------------
+    # progress
+
+    def _progress_snapshot(self, driver: _Driver) -> dict:
+        with self._lock:
+            running = sum(
+                len(c.entries) for c in self._assignments.values()
+                if c.driver_id == driver.id
+            )
+            failed = len(driver.failures)
+            done = driver.done
+            total = driver.total
+            return {
+                "total": total,
+                "done": done,
+                "failed": failed,
+                "running": running,
+                "queued": max(0, total - done - failed - running),
+                "workers": len(self._workers),
+                "retries": driver.retries,
+            }
+
+    def _send_progress(self, driver: _Driver) -> None:
+        if driver.alive:
+            self._safe_send(driver, ("progress", self._progress_snapshot(driver)))
+
+    def _broadcast_progress(self) -> None:
+        with self._lock:
+            drivers = list(self._drivers.values())
+        for driver in drivers:
+            self._send_progress(driver)
+
+    def _safe_send(self, peer: _Peer, message) -> None:
+        try:
+            peer.send(message)
+        except (OSError, ValueError):
+            pass  # the peer's receive loop will notice and clean up
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"Broker(address={self.address!r}, "
+                f"workers={len(self._workers)}, drivers={len(self._drivers)}, "
+                f"pending={len(self._pending)})"
+            )

@@ -1,0 +1,66 @@
+"""Live progress reporting for distributed sweeps.
+
+The broker pushes a :class:`ProgressSnapshot`-shaped dict to the driver on
+every state transition (submit, dispatch, completion, failure, worker
+churn); the driver hands it to whatever callback it was built with.
+:class:`ProgressPrinter` is the default CLI sink — one line to *stderr*
+per distinct state, never stdout, so experiment output stays byte-
+comparable with the serial backend's.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, fields
+from typing import Optional, TextIO
+
+__all__ = ["ProgressSnapshot", "ProgressPrinter"]
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """One driver's sweep state as the broker sees it."""
+
+    total: int = 0
+    queued: int = 0
+    running: int = 0
+    done: int = 0
+    failed: int = 0
+    workers: int = 0
+    retries: int = 0
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ProgressSnapshot":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in raw.items() if k in names})
+
+    def format(self) -> str:
+        line = (
+            f"done {self.done}/{self.total} · running {self.running} "
+            f"· queued {self.queued} · workers {self.workers}"
+        )
+        if self.failed:
+            line += f" · FAILED {self.failed}"
+        if self.retries:
+            line += f" · retries {self.retries}"
+        return line
+
+
+class ProgressPrinter:
+    """Callback printing each distinct snapshot as one stderr line."""
+
+    def __init__(self, stream: Optional[TextIO] = None, prefix: str = "[distrib] "):
+        self.stream = stream if stream is not None else sys.stderr
+        self.prefix = prefix
+        self._last = None
+
+    def __call__(self, snapshot: ProgressSnapshot) -> None:
+        line = snapshot.format()
+        if line == self._last:
+            return
+        self._last = line
+        try:
+            self.stream.write(f"{self.prefix}{line}\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # closed stream: progress is best-effort
+            pass

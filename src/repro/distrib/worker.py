@@ -1,0 +1,188 @@
+"""Stateless sweep worker: connect, verify code version, pull, execute.
+
+``python -m repro worker --connect HOST:PORT`` runs :func:`worker_main`:
+it joins a :class:`~repro.distrib.broker.Broker`, proves its code
+fingerprint matches (a mismatched checkout is rejected with a clear error
+— a worker running different simulator code would poison the sweep's
+byte-identical guarantee), then loops pulling job chunks and returning
+results.  A background thread heartbeats so the broker can tell a slow
+worker from a dead one.
+
+Workers keep no sweep state.  Killing one mid-job loses nothing: the
+broker requeues its chunk on another worker, and because every job is a
+pure function of its descriptor the retried result is byte-identical to
+what the dead worker would have produced.
+
+With ``--cache-dir`` pointing at a cache shared with the driver (same
+host, NFS, …) the worker answers repeat jobs from the content-addressed
+:class:`~repro.runner.cache.ResultCache` and publishes fresh results into
+it; the cache's O_EXCL publish makes concurrent writers from many hosts
+safe (first writer wins, everyone else's identical entry is discarded).
+
+Fault-injection hooks (used by the test suite, harmless otherwise):
+
+* ``REPRO_WORKER_FINGERPRINT`` — claim this fingerprint in the hello.
+* ``REPRO_WORKER_DIE_AFTER_CHUNKS=N`` — hard-exit (``os._exit``) upon
+  receiving the Nth chunk, before executing it: a mid-job crash.
+* ``REPRO_WORKER_FREEZE_AFTER_CHUNKS=N`` — on the Nth chunk, stop
+  heartbeating and hang without executing: a partitioned/hung worker.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from multiprocessing.connection import Client
+from typing import List, Optional, Tuple
+
+from ..runner.cache import ResultCache, code_fingerprint
+from .protocol import authkey_from_env, parse_address
+
+__all__ = ["worker_main", "execute_chunk"]
+
+
+def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> List[tuple]:
+    """Run one ``[(tag, job), …]`` chunk; returns ``[(tag, value), …]``.
+
+    Jobs sharing a prepared artifact execute through their type's
+    ``run_chunk`` (one artifact build, one replay pass) when the whole
+    chunk missed the cache; otherwise each job runs individually.  Cache
+    hits skip execution, fresh results are published back.
+    """
+    jobs = [job for _tag, job in entries]
+    values: List[object] = [None] * len(jobs)
+    pending = list(range(len(jobs)))
+    keys: List[Optional[str]] = [None] * len(jobs)
+    if cache is not None:
+        still = []
+        for i in pending:
+            token = getattr(jobs[i], "cache_token", None)
+            if token is None:
+                still.append(i)
+                continue
+            keys[i] = cache.key(token())
+            hit, value = cache.get(keys[i])
+            if hit:
+                values[i] = value
+            else:
+                still.append(i)
+        pending = still
+    if pending:
+        first = type(jobs[pending[0]])
+        run_chunk = getattr(first, "run_chunk", None)
+        chunkable = (
+            run_chunk is not None
+            and len(pending) > 1
+            and all(type(jobs[i]) is first for i in pending)
+        )
+        if chunkable:
+            fresh = jobs[pending[0]].run_chunk([jobs[i] for i in pending])
+            for i, value in zip(pending, fresh):
+                values[i] = value
+        else:
+            for i in pending:
+                values[i] = jobs[i].run()
+        if cache is not None:
+            for i in pending:
+                if keys[i] is not None:
+                    cache.put(keys[i], values[i])
+    return [(tag, value) for (tag, _job), value in zip(entries, values)]
+
+
+def worker_main(
+    connect: str,
+    cache_dir: Optional[str] = None,
+    heartbeat: float = 2.0,
+    authkey: Optional[str] = None,
+    quiet: bool = False,
+) -> int:
+    """Run one worker until the broker goes away; returns an exit code."""
+    address: Tuple[str, int] = parse_address(connect)
+    say = (lambda *a: None) if quiet else (
+        lambda *a: print("[worker]", *a, file=sys.stderr, flush=True)
+    )
+    try:
+        conn = Client(address, authkey=authkey_from_env(authkey))
+    except Exception as exc:
+        say(f"cannot connect to broker at {connect}: {exc}")
+        return 2
+    fingerprint = os.environ.get("REPRO_WORKER_FINGERPRINT") or code_fingerprint()
+    conn.send(("hello", "worker", fingerprint,
+               {"pid": os.getpid(), "host": socket.gethostname()}))
+    try:
+        reply = conn.recv()
+    except EOFError:
+        say("broker closed the connection during handshake")
+        return 2
+    if reply[0] == "reject":
+        say(f"rejected by broker at {connect}: {reply[1]}")
+        return 3
+    worker_id = reply[1]
+    say(f"joined broker at {connect} as worker {worker_id}")
+
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat):
+            try:
+                with send_lock:
+                    conn.send(("heartbeat",))
+            except (OSError, ValueError):
+                return
+
+    threading.Thread(target=beat, daemon=True, name="repro-worker-beat").start()
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    die_after = int(os.environ.get("REPRO_WORKER_DIE_AFTER_CHUNKS", "0") or 0)
+    freeze_after = int(os.environ.get("REPRO_WORKER_FREEZE_AFTER_CHUNKS", "0") or 0)
+    chunks_seen = 0
+
+    with send_lock:
+        conn.send(("ready",))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            say("broker connection closed; exiting")
+            return 0
+        tag = message[0]
+        if tag == "shutdown":
+            say("broker asked us to shut down")
+            return 0
+        if tag != "jobs":
+            continue
+        _, chunk_id, entries = message
+        chunks_seen += 1
+        if die_after and chunks_seen >= die_after:
+            os._exit(86)  # fault injection: crash mid-job, no goodbyes
+        if freeze_after and chunks_seen >= freeze_after:
+            stop_beating.set()  # fault injection: go silent, hang forever
+            while True:
+                time.sleep(60)
+        try:
+            results = execute_chunk(entries, cache)
+        except BaseException:
+            trace = traceback.format_exc()
+            say(f"chunk {chunk_id} raised:\n{trace}")
+            try:
+                with send_lock:
+                    conn.send(("error", chunk_id, trace))
+            except (OSError, ValueError):
+                return 1
+        else:
+            try:
+                with send_lock:
+                    # a large result can hold the send lock past several
+                    # beat intervals; the leading heartbeat resets the
+                    # broker's liveness clock so the full timeout budget
+                    # covers the transfer itself
+                    conn.send(("heartbeat",))
+                    conn.send(("result", chunk_id, results))
+            except (OSError, ValueError):
+                say("broker went away while returning results")
+                return 1

@@ -23,8 +23,11 @@ Every driver enumerates its conditions as declarative job descriptors
 (:class:`~repro.runner.spec.JobSpec` for pipeline conditions,
 :mod:`~repro.experiments.extension_jobs` for the fat-tree/chain studies)
 executed through a :class:`~repro.runner.runner.ParallelRunner`: pass
-``runner=`` to fan conditions out over worker processes and memoize them on
-disk.  The multihop, granularity, and localization studies additionally
+``runner=`` to fan conditions out over worker processes — or over a
+distributed broker/worker cluster
+(:class:`~repro.distrib.runner.DistributedRunner`); every backend is
+byte-identical — and memoize them on disk.  The multihop, granularity,
+and localization studies additionally
 accept ``shards=N``: the condition's simulation runs once and its per-flow
 estimation is partitioned over N flow shards
 (:mod:`repro.core.replay`), with results **bitwise identical** for every

@@ -9,8 +9,11 @@
 Both drivers enumerate their condition grid as a declarative
 :class:`~repro.runner.spec.SweepSpec` and execute it through a
 :class:`~repro.runner.runner.ParallelRunner` — pass ``runner=`` to fan the
-conditions out over worker processes and/or memoize them on disk; the
-default is serial and uncached with identical numbers.
+conditions out over worker processes, a distributed broker/worker cluster
+(:class:`~repro.distrib.runner.DistributedRunner`, or any backend from
+:func:`~repro.runner.backends.make_runner`), and/or memoize them on disk;
+the default is serial and uncached with identical numbers on every
+backend.
 """
 
 from __future__ import annotations

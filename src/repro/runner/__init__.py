@@ -23,17 +23,25 @@ Typical use::
 Results are independent of worker count: the serial path (``jobs=1``) and
 any parallel fan-out produce byte-identical summaries (see
 ``tests/test_runner_determinism.py``).
+
+:func:`~repro.runner.backends.make_runner` maps a backend name —
+``serial | process | distributed`` — to a runner object; the distributed
+backend (:mod:`repro.distrib`) executes the same jobs on a broker/worker
+cluster with the same byte-identical guarantee.
 """
 
+from .backends import BACKENDS, make_runner
 from .cache import CACHE_VERSION, DEFAULT_CACHE_DIR, ResultCache, code_fingerprint
 from .runner import ParallelRunner
 from .spec import JobSpec, SweepSpec
 
 __all__ = [
+    "BACKENDS",
     "CACHE_VERSION",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "code_fingerprint",
+    "make_runner",
     "ParallelRunner",
     "JobSpec",
     "SweepSpec",

@@ -1,0 +1,70 @@
+"""Execution-backend selection: ``serial | process | distributed``.
+
+Every experiment driver takes a ``runner=`` object with the
+:class:`~repro.runner.runner.ParallelRunner` interface; this module is the
+one place that maps a backend *name* (CLI flag, config value) to such an
+object.  ``auto`` keeps the historical behavior: serial for ``jobs=1``, a
+local process pool otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import ResultCache
+from .runner import ParallelRunner
+
+__all__ = ["BACKENDS", "make_runner", "validate_backend_options"]
+
+BACKENDS = ("auto", "serial", "process", "distributed")
+
+
+def validate_backend_options(backend: str, broker: Optional[str]) -> None:
+    """Reject option combinations no backend accepts (one rule, shared by
+    the CLI's early check and :func:`make_runner`)."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if broker is not None and backend not in ("auto", "distributed"):
+        raise ValueError(
+            f"a broker address only applies to the distributed backend, "
+            f"not {backend!r}"
+        )
+
+
+def make_runner(
+    backend: str = "auto",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    broker: Optional[str] = None,
+    progress=None,
+    **distrib_options,
+) -> ParallelRunner:
+    """Build the sweep runner for *backend*.
+
+    ``jobs`` means worker processes for the ``process`` backend and
+    spawned local workers for an embedded ``distributed`` cluster (it is
+    ignored when *broker* names an external one, whose workers already
+    exist).  Extra keyword options go to
+    :class:`~repro.distrib.runner.DistributedRunner` verbatim.
+    """
+    validate_backend_options(backend, broker)
+    if backend == "auto":
+        if broker is not None:
+            backend = "distributed"
+        else:
+            backend = "process" if jobs > 1 else "serial"
+    if backend != "distributed" and distrib_options:
+        raise ValueError(
+            f"options {sorted(distrib_options)} only apply to the "
+            f"distributed backend, not {backend!r}"
+        )
+    if backend == "serial":
+        return ParallelRunner(jobs=1, cache=cache)
+    if backend == "process":
+        return ParallelRunner(jobs=jobs, cache=cache)
+    from ..distrib.runner import DistributedRunner  # deferred: optional heavyweight
+
+    return DistributedRunner(
+        workers=jobs, cache=cache, broker=broker, progress=progress,
+        **distrib_options,
+    )

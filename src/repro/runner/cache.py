@@ -12,10 +12,13 @@ Layout (under ``.repro-cache/`` by default)::
     .repro-cache/
         ab/ab12cd…ef.pkl     # pickled job result, sharded by key prefix
 
-Entries are written atomically (temp file + ``os.replace``) so a crashed or
-interrupted sweep never leaves a truncated pickle behind under the final
-name; a corrupted entry (e.g. a partial write from a hard kill) is treated
-as a miss and deleted.
+Entries are written atomically (private temp file, then an ``os.link``
+publish — O_EXCL semantics) so a crashed or interrupted sweep never leaves
+a truncated pickle behind under the final name, and concurrent writers —
+including distributed sweep workers sharing one cache directory over NFS —
+can never corrupt or double-write an entry: the first publish wins and
+later identical copies are discarded.  A corrupted entry (e.g. hand-edited
+or damaged out-of-band) is treated as a miss and deleted.
 """
 
 from __future__ import annotations
@@ -142,20 +145,36 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically persist *value* under *key*."""
+        """Atomically persist *value* under *key*; safe under concurrency.
+
+        The entry is written to a private temp file and *published* with
+        ``os.link`` — an O_EXCL operation, atomic even on shared (NFS)
+        filesystems — so any number of concurrent writers (sweep workers
+        on one host or many) race harmlessly: the first publish wins and
+        every later writer quietly discards its own copy.  Keys are
+        content addresses, so all racers carry byte-identical payloads and
+        "first" is indistinguishable from "only".  A reader can never see
+        a half-written entry under the final name.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                pass  # a concurrent writer already published this key
+            except OSError:
+                # filesystem without hard links: fall back to the plain
+                # atomic replace (still torn-write-safe, last writer wins)
+                os.replace(tmp, path)
+        finally:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
 
     def _entries(self):
         """Paths of all persisted results (layout knowledge lives here)."""

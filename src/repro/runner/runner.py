@@ -87,6 +87,11 @@ class ParallelRunner:
         self.executed = 0
         self.cache_hits = 0
 
+    @property
+    def backend(self) -> str:
+        """Which execution backend this runner is (see runner.backends)."""
+        return "serial" if self.jobs == 1 else "process"
+
     # ------------------------------------------------------------------
 
     def run(self, spec_or_jobs: Union[SweepSpec, Sequence]) -> List[Any]:

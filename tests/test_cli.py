@@ -30,6 +30,36 @@ class TestParser:
             assert args.jobs == 4
             assert args.no_cache is True
 
+    def test_backend_flags_on_experiment_subcommands(self):
+        parser = build_parser()
+        for command in ("fig4a", "fig4b", "fig4c", "fig5", "placement",
+                        "extensions", "localize"):
+            args = parser.parse_args([command])
+            assert args.backend == "auto" and args.broker is None
+            args = parser.parse_args(
+                [command, "--backend", "distributed", "--jobs", "2"])
+            assert args.backend == "distributed"
+            args = parser.parse_args([command, "--broker", "host:7077"])
+            assert args.broker == "host:7077"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4a", "--backend", "threads"])
+
+    def test_worker_and_broker_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--connect", "h:7077",
+                                  "--heartbeat", "0.5", "--cache-dir", "c"])
+        assert args.command == "worker"
+        assert args.connect == "h:7077"
+        assert args.heartbeat == 0.5
+        assert args.cache_dir == "c"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["worker"])  # --connect is required
+        args = parser.parse_args(["broker", "--listen", ":7077",
+                                  "--max-retries", "1"])
+        assert args.command == "broker"
+        assert args.listen == ":7077"
+        assert args.max_retries == 1
+
     def test_shards_flag_on_sharded_subcommands(self):
         parser = build_parser()
         for command in ("extensions", "localize"):
@@ -150,6 +180,19 @@ class TestAnalysisCommands:
         assert capsys.readouterr().out == first
         assert main(["fig4a", "--no-plot", "--cache-dir", cache_dir]) == 0
         assert capsys.readouterr().out == first  # serial path identical
+
+    def test_explicit_backends_print_identical_tables(self, capsys,
+                                                      monkeypatch):
+        """--backend serial and --backend process agree byte for byte (the
+        distributed backend's identical-output guarantee is asserted by
+        tests/test_distrib.py and the CI distrib-smoke lane)."""
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert main(["fig4a", "--no-plot", "--no-cache",
+                     "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig4a", "--no-plot", "--no-cache",
+                     "--backend", "process", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_cache_info_and_clear(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_SCALE", "0.01")

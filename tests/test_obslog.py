@@ -1,0 +1,197 @@
+"""Array-backed observation logs: equivalence with tuple mode.
+
+The satellite guarantee: recording a receiver's observation stream into
+:class:`~repro.core.obslog.ObservationColumns` instead of a list changes
+*nothing* about what replays out of it — every event round-trips the
+typed columns bit-exactly, so replayed tables (and therefore every study
+built on sharded replay) are byte-identical between modes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.obslog import ObservationColumns, make_observation_log
+from repro.core.receiver import REF_OBS, REG_OBS
+from repro.core.replay import replay_observations, replay_observations_multi
+
+
+def synthetic_events():
+    a, b = (167837697, 167903233, 4242, 80, 6), (2, 9, 2, 2, 17)
+    return [
+        (REF_OBS, 0, 0.010, 20e-6),
+        (REG_OBS, 0, 0.012, a, 25.3e-6),
+        (REG_OBS, 1, 0.014, b, 28.7e-6),
+        (REF_OBS, 1, 0.020, 30e-6),
+        (REG_OBS, 0, 0.031, a, 31e-6),
+    ]
+
+
+class TestObservationColumns:
+    def test_roundtrips_exact_tuples(self):
+        events = synthetic_events()
+        columns = ObservationColumns(events)
+        assert len(columns) == len(events)
+        assert list(columns) == events
+
+    def test_floats_roundtrip_bitwise(self):
+        # values that don't have short decimal representations
+        value = 1.0 / 3.0
+        now = 2.0 / 7.0
+        columns = ObservationColumns([(REF_OBS, 0, now, value)])
+        _, _, got_now, got_value = next(iter(columns))
+        assert (got_now, got_value) == (now, value)
+        assert pickle.dumps(got_value) == pickle.dumps(value)
+
+    def test_append_api_matches_list(self):
+        as_list, as_columns = [], ObservationColumns()
+        for event in synthetic_events():
+            as_list.append(event)
+            as_columns.append(event)
+        assert list(as_columns) == as_list
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            ObservationColumns().append((7, 0, 0.0, 0.0))
+
+    def test_pickle_roundtrip(self):
+        columns = ObservationColumns(synthetic_events())
+        clone = pickle.loads(pickle.dumps(columns))
+        assert list(clone) == list(columns)
+
+    def test_columns_are_smaller_than_tuples(self):
+        import sys
+
+        events = synthetic_events() * 200
+        columns = ObservationColumns(events)
+        tuple_floor = sum(sys.getsizeof(e) for e in events)  # tuples alone
+        assert columns.nbytes < tuple_floor
+
+    def test_numpy_views(self):
+        columns = ObservationColumns(synthetic_events())
+        arrays = columns.arrays()
+        assert arrays["tag"].tolist() == [REF_OBS, REG_OBS, REG_OBS,
+                                          REF_OBS, REG_OBS]
+        assert arrays["time"].tolist() == [e[2] for e in synthetic_events()]
+        assert arrays["key"][0][1] == 167837697
+
+
+class TestMakeObservationLog:
+    def test_modes(self):
+        assert make_observation_log(None) is None
+        assert make_observation_log(False) is None
+        assert make_observation_log(True) == []
+        assert make_observation_log("tuple") == []
+        assert isinstance(make_observation_log("array"), ObservationColumns)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_observation_log("parquet")
+
+
+class TestReplayEquivalence:
+    def test_synthetic_replay_identical(self):
+        events = synthetic_events()
+        from_list = replay_observations(events)
+        from_columns = replay_observations(ObservationColumns(events))
+        assert pickle.dumps(from_list.estimated) == pickle.dumps(from_columns.estimated)
+        assert pickle.dumps(from_list.true) == pickle.dumps(from_columns.true)
+        assert from_list.unestimated == from_columns.unestimated
+
+    def test_recorded_receiver_replay_identical(self, tiny_workload):
+        """Record one real pipeline run twice — list log and columnar log —
+        and replay both: bitwise-identical tables, sharded or not."""
+        from repro.sim.pipeline import TwoSwitchPipeline
+
+        logs = {"tuple": [], "array": ObservationColumns()}
+        for log in logs.values():
+            sender = tiny_workload.make_sender("static")
+            receiver = tiny_workload.make_receiver(observation_log=log,
+                                                   record_only=True)
+            TwoSwitchPipeline(tiny_workload.pipeline_config).run(
+                regular=tiny_workload.regular.clone_packets(),
+                cross=tiny_workload.cross_arrivals("random", 0.67),
+                sender=sender,
+                receiver=receiver,
+                duration=tiny_workload.cfg.duration,
+            )
+            receiver.finalize()
+        assert list(logs["array"]) == logs["tuple"]
+        full_list = replay_observations(logs["tuple"])
+        full_columns = replay_observations(logs["array"])
+        assert pickle.dumps(full_list.estimated) == pickle.dumps(full_columns.estimated)
+        for shard in range(3):
+            a = replay_observations(logs["tuple"], shard=shard, n_shards=3)
+            b = replay_observations(logs["array"], shard=shard, n_shards=3)
+            assert pickle.dumps(a.estimated) == pickle.dumps(b.estimated)
+            assert pickle.dumps(a.true) == pickle.dumps(b.true)
+
+    def test_deployment_array_mode_matches_tuple_mode(self):
+        """The record_observations knob end to end: an RLIR deployment
+        recorded in both modes replays to identical segment tables."""
+        from repro.core.injection import StaticInjection
+        from repro.core.rlir import RlirDeployment
+        from repro.sim.topology import FatTree, LinkParams
+        from repro.traffic.synthetic import TraceConfig, generate_fattree_trace
+
+        segment_logs = {}
+        for mode in ("tuple", "array"):
+            ft = FatTree(4, LinkParams(rate_bps=1e9, buffer_bytes=256 * 1024))
+            deployment = RlirDeployment(
+                ft, src=(0, 0), dst=(1, 0),
+                policy_factory=lambda: StaticInjection(20),
+                record_observations=mode,
+            )
+            pairs = [(ft.host_address(0, 0, h), ft.host_address(1, 0, g))
+                     for h in range(2) for g in range(2)]
+            trace = generate_fattree_trace(
+                TraceConfig(duration=1.0, n_packets=1500, mean_flow_pkts=12.0),
+                pairs, seed=5)
+            deployment.run([trace])
+            segment_logs[mode] = deployment.observation_logs()
+        for (name_t, log_t), (name_a, log_a) in zip(segment_logs["tuple"],
+                                                    segment_logs["array"]):
+            assert name_t == name_a
+            assert isinstance(log_a, ObservationColumns)
+            assert list(log_a) == log_t
+            replay_t = replay_observations(log_t)
+            replay_a = replay_observations(log_a)
+            assert pickle.dumps(replay_t.estimated) == pickle.dumps(replay_a.estimated)
+
+
+class TestReplayMulti:
+    def test_multi_matches_per_shard_bitwise(self, tiny_workload):
+        """The distributed chunk envelope: one-pass multi-shard replay is
+        bitwise-identical to shard-by-shard replay."""
+        from repro.sim.pipeline import TwoSwitchPipeline
+
+        log = ObservationColumns()
+        sender = tiny_workload.make_sender("static")
+        receiver = tiny_workload.make_receiver(observation_log=log,
+                                               record_only=True)
+        TwoSwitchPipeline(tiny_workload.pipeline_config).run(
+            regular=tiny_workload.regular.clone_packets(),
+            cross=tiny_workload.cross_arrivals("random", 0.67),
+            sender=sender,
+            receiver=receiver,
+            duration=tiny_workload.cfg.duration,
+        )
+        receiver.finalize()
+        multi = replay_observations_multi(log, shards=(0, 2, 3), n_shards=4)
+        assert sorted(multi) == [0, 2, 3]
+        for shard, tables in multi.items():
+            single = replay_observations(log, shard=shard, n_shards=4)
+            assert pickle.dumps(single.estimated) == pickle.dumps(tables.estimated)
+            assert pickle.dumps(single.true) == pickle.dumps(tables.true)
+            assert single.unestimated == tables.unestimated
+
+    def test_multi_validates_shards(self):
+        events = synthetic_events()
+        with pytest.raises(ValueError):
+            replay_observations_multi(events, shards=(0, 0), n_shards=2)
+        with pytest.raises(ValueError):
+            replay_observations_multi(events, shards=(5,), n_shards=2)
+
+    def test_multi_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            replay_observations_multi([(9, 0, 0.0, 0.0)], shards=(0,), n_shards=1)

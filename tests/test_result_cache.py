@@ -2,10 +2,14 @@
 
 Covers the contract ``repro.runner`` relies on: a key is a pure function of
 (job token, code fingerprint, format version); hits skip execution;
-changing any config knob, any seed, or the code fingerprint misses; and a
-corrupted on-disk entry degrades to a miss instead of poisoning a sweep.
+changing any config knob, any seed, or the code fingerprint misses; a
+corrupted on-disk entry degrades to a miss instead of poisoning a sweep;
+and concurrent writers — many processes hammering one cache directory, the
+distributed backend's normal condition — never corrupt or double-write an
+entry (O_EXCL publish, first writer wins).
 """
 
+import multiprocessing
 import pickle
 from dataclasses import dataclass, field
 
@@ -199,6 +203,64 @@ class TestCorruption:
         cache.path_for(key).write_bytes(b"garbage")
         assert runner.run([job]) == ["result:a"]
         assert len(job.runs) == 2
+
+
+def _hammer(args):
+    """Worker for the concurrency test: write and read a shared key set.
+
+    Every process writes the *same* deterministic value per key — exactly
+    the distributed-sweep situation (content-addressed keys, pure jobs) —
+    so any read must return that value regardless of who won each publish.
+    """
+    root, _worker_id, keys = args
+    cache = ResultCache(root, fingerprint="hammer")
+    bad = 0
+    for _round in range(3):
+        for i, key in enumerate(keys):
+            cache.put(key, {"payload": i, "blob": list(range(200))})
+            hit, value = cache.get(key)
+            if hit and value["payload"] != i:
+                bad += 1
+    return bad
+
+
+class TestConcurrentWriters:
+    def test_many_processes_hammer_one_cache_dir(self, tmp_path):
+        """N processes × M rounds writing the same keys: every entry stays
+        readable and correct, and no temp droppings survive."""
+        root = str(tmp_path / "shared-cache")
+        probe = ResultCache(root, fingerprint="hammer")
+        keys = [probe.key({"condition": i}) for i in range(8)]
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        with ctx.Pool(processes=6) as pool:
+            corrupt_reads = pool.map(
+                _hammer, [(root, w, keys) for w in range(6)])
+        assert sum(corrupt_reads) == 0
+        # every key present, valid, and carrying the agreed value
+        for i, key in enumerate(keys):
+            hit, value = probe.get(key)
+            assert hit and value["payload"] == i
+        stats = probe.stats()
+        assert stats["entries"] == len(keys)
+        assert stats["orphans"] == 0  # all temp files were consumed/removed
+
+    def test_put_is_first_writer_wins(self, cache):
+        """O_EXCL publish: an existing entry is never clobbered (keys are
+        content addresses, so a second writer's value is identical by
+        construction — discarding it is free and race-safe)."""
+        key = cache.key({"x": 1})
+        cache.put(key, "first")
+        cache.put(key, "second")
+        assert cache.get(key) == (True, "first")
+
+    def test_put_republishes_after_removal(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, "v1")
+        cache.path_for(key).unlink()
+        cache.put(key, "v2")
+        assert cache.get(key) == (True, "v2")
 
 
 class TestMaintenance:
