@@ -8,8 +8,8 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir fig4a [--scale 0.1] [--jobs 4] [--batch]   # likewise fig4b/fig4c/fig5
     repro-rlir fig4a --backend distributed --jobs 2       # embedded cluster
     repro-rlir placement --k 4 8 16
-    repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4]
-    repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4]
+    repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4 --batch]
+    repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4 --batch]
     repro-rlir cache info|clear
     repro-rlir broker --listen 0.0.0.0:7077               # standing cluster…
     repro-rlir worker --connect HOST:7077                 # …one per machine
@@ -32,6 +32,11 @@ either embedded (spawning ``--jobs`` local workers) or external
 (``--broker HOST:PORT``, pointing at a ``repro-rlir broker`` with
 ``repro-rlir worker`` processes attached from any number of machines).
 Every backend prints byte-identical experiment output.
+
+``--batch`` runs each simulation on the columnar fast path — pipeline,
+multihop chain, or layered fat-tree driver as the study demands — again
+with byte-identical output (``docs/internals-batch.md``); the full
+operator guide lives in ``docs/running.md``.
 """
 
 from __future__ import annotations
@@ -79,12 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload scale (default: REPRO_SCALE or 1.0)")
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--no-plot", action="store_true")
-        p.add_argument("--batch", dest="batch", action="store_true",
-                       help="columnar pipeline fast path (identical numbers, "
-                            "several times the throughput)")
-        p.add_argument("--no-batch", dest="batch", action="store_false",
-                       help="per-object reference pipeline (default)")
-        p.set_defaults(batch=False)
+        _add_batch_flags(p)
         _add_runner_flags(p)
         if fig == "fig5":
             p.add_argument("--seeds", type=int, default=3,
@@ -134,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="trace seed for pipeline-based studies")
     ext.add_argument("--run-seed", type=int, default=0,
                      help="base seed for per-run random streams")
+    _add_batch_flags(ext)
     _add_runner_flags(ext, shards=True)
 
     loc = sub.add_parser("localize", help="run the RLIR localization demo")
@@ -142,6 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     loc.add_argument("--packets", type=int, default=20_000)
     loc.add_argument("--run-seed", type=int, default=0,
                      help="base seed for the scenario's traces")
+    _add_batch_flags(loc)
     _add_runner_flags(loc, shards=True)
 
     return parser
@@ -157,6 +159,16 @@ def _positive_int(raw: str) -> int:
 # selectable study names; per-study dispatch lives in _cmd_extensions
 EXTENSION_STUDIES = ("multihop", "granularity", "memory", "ptp", "tail",
                      "mesh", "aqm")
+
+
+def _add_batch_flags(p: argparse.ArgumentParser) -> None:
+    """The columnar fast-path toggle shared by every simulation subcommand."""
+    p.add_argument("--batch", dest="batch", action="store_true",
+                   help="columnar fast path (identical numbers, several "
+                        "times the throughput)")
+    p.add_argument("--no-batch", dest="batch", action="store_false",
+                   help="per-object reference path (default)")
+    p.set_defaults(batch=False)
 
 
 def _add_runner_flags(p: argparse.ArgumentParser, shards: bool = False) -> None:
@@ -350,6 +362,7 @@ def _cmd_localize(args) -> int:
         runner=_make_runner(args),
         shards=args.shards,
         run_seed=args.run_seed,
+        batch=args.batch,
     )
     print(format_table(
         ["segment", "mean latency", "flows", "anomalous?"],
@@ -375,13 +388,15 @@ def _cmd_extensions(args) -> int:
     scale = cfg.scale
     runner = _make_runner(args)
     seed = args.run_seed
+    batch = args.batch
 
     def banner(title):
         print(f"\n== {title} ==")
 
     if "multihop" in studies:
         rows = ext.run_multihop_ablation(cfg, runner=runner,
-                                         shards=args.shards, run_seed=seed)
+                                         shards=args.shards, run_seed=seed,
+                                         batch=batch)
         banner("multihop: accuracy vs measured-segment length")
         print(format_table(
             ["hops", "median RE(mean)", "true mean (us)"],
@@ -389,7 +404,7 @@ def _cmd_extensions(args) -> int:
     if "granularity" in studies:
         rows = ext.run_granularity_comparison(
             n_packets=max(4000, int(20_000 * scale)), runner=runner,
-            shards=args.shards)
+            shards=args.shards, batch=batch)
         banner("granularity: full RLI vs RLIR")
         print(format_table(
             ["deployment", "instances", "segments", "culprit", "granularity"],
@@ -397,7 +412,8 @@ def _cmd_extensions(args) -> int:
               "single queue" if r.pinned_to_single_queue else "segment"]
              for r in rows]))
     if "memory" in studies:
-        rows = ext.run_memory_ablation(cfg, runner=runner, run_seed=seed)
+        rows = ext.run_memory_ablation(cfg, runner=runner, run_seed=seed,
+                                       batch=batch)
         banner("memory: receiver flow-table bound")
         print(format_table(
             ["max flows", "retained", "evicted samples", "median RE"],
@@ -410,7 +426,8 @@ def _cmd_extensions(args) -> int:
             ["jitter (us)", "mean |residual| (us)"],
             [[f"{j * 1e6:.1f}", f"{r * 1e6:.3f}"] for j, r in rows]))
     if "tail" in studies:
-        results = ext.run_tail_accuracy(cfg, runner=runner, run_seed=seed)
+        results = ext.run_tail_accuracy(cfg, runner=runner, run_seed=seed,
+                                        batch=batch)
         banner("tail: per-flow quantile accuracy")
         print(format_table(
             ["quantile", "flows", "median RE"],
@@ -419,14 +436,15 @@ def _cmd_extensions(args) -> int:
     if "mesh" in studies:
         rows = ext.run_mesh_study(
             n_packets_per_pair=max(5000, int(15_000 * scale)),
-            runner=runner, run_seed=seed)
+            runner=runner, run_seed=seed, batch=batch)
         banner("mesh: shared-core RLIR, three ToR pairs")
         print(format_table(
             ["pair", "flows (seg2)", "seg2 median RE", "e2e median RE"],
             [[pair, flows, f"{s2:.4f}", f"{e2:.4f}"]
              for pair, flows, s2, e2 in rows]))
     if "aqm" in studies:
-        rows = ext.run_aqm_comparison(cfg, runner=runner, run_seed=seed)
+        rows = ext.run_aqm_comparison(cfg, runner=runner, run_seed=seed,
+                                      batch=batch)
         banner("aqm: tail-drop vs RED bottleneck")
         print(format_table(
             ["discipline", "regular loss", "median RE", "ref drops"],

@@ -45,6 +45,25 @@ class Demux:
         """The sender instances this receiver is associated with."""
         raise NotImplementedError
 
+    @property
+    def batch_capable(self) -> bool:
+        """True when :meth:`classify_regular_batch` exists and is exact.
+
+        Subclasses whose vectorized classifier is only conditionally exact
+        (e.g. it delegates to a path classifier that may or may not be
+        vectorizable) override this; the default keys off the method's
+        presence.  The receiver fast path advertises its own batch
+        capability off this flag.
+        """
+        return hasattr(self, "classify_regular_batch")
+
+    def _covered(self, trie_prefixes, srcs: np.ndarray) -> np.ndarray:
+        """Vectorized is-there-a-match over a source-address column."""
+        covered = np.zeros(len(srcs), dtype=bool)
+        for prefix in trie_prefixes:
+            covered |= (srcs & prefix.mask) == prefix.network
+        return covered
+
 
 class SingleSenderDemux(Demux):
     """One sender, no multiplexing — classic RLI within a router.
@@ -68,21 +87,20 @@ class SingleSenderDemux(Demux):
             return None
         return self._sender_id
 
-    def classify_regular_batch(self, srcs: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`classify_regular` over a source-address column.
+    def classify_regular_batch(self, headers, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_regular` over batch rows.
 
-        Returns the stream id per packet, with ``-1`` standing in for
-        ``None`` (sender ids are non-negative).  Covered-by-any-prefix is
-        exactly the trie's "is there a match" question, evaluated as one
-        masked compare per prefix — the receiver fast path advertises
-        batch capability off the presence of this method.
+        ``headers`` is a :class:`~repro.traffic.batch.PacketBatch` and
+        ``rows`` the row indices to classify.  Returns the stream id per
+        packet, with ``-1`` standing in for ``None`` (sender ids are
+        non-negative).  Covered-by-any-prefix is exactly the trie's "is
+        there a match" question, evaluated as one masked compare per
+        prefix.
         """
-        srcs = np.asarray(srcs)
+        srcs = headers.src[rows]
         if self._prefixes is None:
             return np.full(len(srcs), self._sender_id, dtype=np.int64)
-        covered = np.zeros(len(srcs), dtype=bool)
-        for prefix in self._prefixes:
-            covered |= (srcs & prefix.mask) == prefix.network
+        covered = self._covered(self._prefixes, srcs)
         return np.where(covered, np.int64(self._sender_id), np.int64(-1))
 
     def sender_ids(self) -> Set[int]:
@@ -101,7 +119,13 @@ class UpstreamPrefixDemux(Demux):
     def __init__(self, prefix_to_sender: Iterable[Tuple[Prefix, int]]):
         self._trie: PrefixTrie[int] = PrefixTrie()
         self._senders: Set[int] = set()
-        for prefix, sender_id in prefix_to_sender:
+        mappings = tuple(prefix_to_sender)
+        # the batch classifier's LPM order, fixed at construction: ascending
+        # prefix length, stable within a length so a re-inserted prefix
+        # wins like the trie's overwrite
+        self._by_length: Tuple[Tuple[Prefix, int], ...] = tuple(
+            sorted(mappings, key=lambda m: m[0].length))
+        for prefix, sender_id in mappings:
             self._trie.insert(prefix, sender_id)
             self._senders.add(sender_id)
         if not self._senders:
@@ -109,6 +133,18 @@ class UpstreamPrefixDemux(Demux):
 
     def classify_regular(self, packet: Packet) -> Optional[int]:
         return self._trie.lookup(packet.src)
+
+    def classify_regular_batch(self, headers, rows: np.ndarray) -> np.ndarray:
+        """Vectorized longest-prefix classification (``-1`` = no match).
+
+        Mappings are applied in increasing prefix length, so the last
+        assignment per packet is exactly the trie's longest-prefix match.
+        """
+        srcs = headers.src[rows]
+        streams = np.full(len(srcs), -1, dtype=np.int64)
+        for prefix, sender_id in self._by_length:
+            streams[(srcs & prefix.mask) == prefix.network] = sender_id
+        return streams
 
     def sender_ids(self) -> Set[int]:
         return set(self._senders)
@@ -139,9 +175,11 @@ class PathClassifierDemux(Demux):
         if not self._senders:
             raise ValueError("at least one sender id required")
         self._trie: Optional[PrefixTrie[bool]] = None
+        self._sources: Tuple[Prefix, ...] = ()
         if source_prefixes is not None:
+            self._sources = tuple(source_prefixes)
             self._trie = PrefixTrie()
-            for prefix in source_prefixes:
+            for prefix in self._sources:
                 self._trie.insert(prefix, True)
 
     def classify_regular(self, packet: Packet) -> Optional[int]:
@@ -149,6 +187,22 @@ class PathClassifierDemux(Demux):
             return None
         sender = self._classifier(packet)
         return sender if sender in self._senders else None
+
+    @property
+    def batch_capable(self) -> bool:
+        """Batch classification needs a vectorized path classifier."""
+        return hasattr(self._classifier, "classify_batch")
+
+    def classify_regular_batch(self, headers, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_regular`: source filter, then the
+        path classifier's own batch computation (``-1`` = no match)."""
+        streams = self._classifier.classify_batch(headers, rows)
+        known = np.isin(streams, np.fromiter(self._senders, dtype=np.int64))
+        streams = np.where(known, streams, np.int64(-1))
+        if self._trie is not None:
+            covered = self._covered(self._sources, headers.src[rows])
+            streams = np.where(covered, streams, np.int64(-1))
+        return streams
 
     def sender_ids(self) -> Set[int]:
         return set(self._senders)

@@ -23,6 +23,7 @@ from ..net.packet import Packet
 from ..sim.clock import Clock, PerfectClock
 from ..sim.ecmp import craft_dport_for_port
 from ..sim.engine import Engine
+from ..sim.fatpath import try_fast_path
 from ..sim.switch import Switch
 from ..sim.topology import FatTree
 from ..traffic.trace import Trace
@@ -80,6 +81,13 @@ class RlirMesh:
     Parameters mirror :class:`~repro.core.rlir.RlirDeployment`; ``pairs``
     is a sequence of ((src_pod, src_edge), (dst_pod, dst_edge)) tuples, all
     inter-pod.
+
+    ``batch=True`` selects the layered columnar fast path
+    (:class:`~repro.sim.fatpath.FatTreeFastPath`) whenever every trace
+    carries :class:`~repro.traffic.batch.PacketBatch` columns: results are
+    **bitwise identical** to the event engine — arrival ties included,
+    reconstructed exactly from event provenance — and any non-batchable
+    component falls back to the engine transparently.
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class RlirMesh:
         policy_factory: Callable[[], InjectionPolicy] = lambda: StaticInjection(100),
         estimator: str = "linear",
         clock_factory: Optional[Callable[[], Clock]] = None,
+        batch: bool = False,
     ):
         if not pairs:
             raise ValueError("at least one ToR pair required")
@@ -102,12 +111,16 @@ class RlirMesh:
         self.policy_factory = policy_factory
         self.estimator = estimator
         self.clock_factory = clock_factory or PerfectClock
+        self.batch = batch
         self.engine: Optional[Engine] = None
         self.tor_senders: Dict[Tuple[Tuple[int, int], int], RliSender] = {}
         self.core_receivers: Dict[str, RliReceiver] = {}
         self.core_senders: Dict[Tuple[str, int], RliSender] = {}
         self.dst_receivers: Dict[Tuple[int, int], RliReceiver] = {}
         self._wired = False
+        # declarative wiring descriptions consumed by the columnar driver
+        self._sender_taps: Dict[Tuple[Switch, int], tuple] = {}
+        self._receiver_taps: Dict[Switch, RliReceiver] = {}
 
     # ------------------------------------------------------------------
     # instance ids
@@ -174,6 +187,8 @@ class RlirMesh:
                 )
                 self.tor_senders[(src, u)] = sender
                 port.add_enqueue_tap(self._sender_tap(src_edge, port_index, sender))
+                self._sender_taps[(src_edge, port_index)] = (
+                    sender, ("hash", agg.hasher, half))
 
         # ---- cores: one shared receiver; one sender per involved dst pod ----
         dst_pods = sorted({dst[0] for dst in dst_tors})
@@ -191,6 +206,7 @@ class RlirMesh:
                 )
                 self.core_receivers[core.name] = receiver
                 core.add_arrival_tap(self._receiver_tap(receiver))
+                self._receiver_taps[core] = receiver
                 for pod in dst_pods:
                     egress_index = ft.port_toward(core, ft.aggs[pod][i])
                     egress = core.ports[egress_index]
@@ -210,6 +226,10 @@ class RlirMesh:
                     )
                     self.core_senders[(core.name, pod)] = sender
                     egress.add_enqueue_tap(self._sender_tap(core, egress_index, sender))
+                    self._sender_taps[(core, egress_index)] = (
+                        sender,
+                        ("tor_map", tuple((dst[0], dst[1], self._dst_index(dst))
+                                          for dst in pod_dsts)))
 
         # ---- destination ToRs: one downstream receiver each ----
         for dst in dst_tors:
@@ -228,6 +248,7 @@ class RlirMesh:
             )
             self.dst_receivers[dst] = receiver
             dst_edge.add_arrival_tap(self._receiver_tap(receiver))
+            self._receiver_taps[dst_edge] = receiver
 
     def _dst_index(self, dst: Tuple[int, int]) -> int:
         return self._dst_tors().index(dst)
@@ -275,12 +296,27 @@ class RlirMesh:
     # ------------------------------------------------------------------
 
     def run(self, traces: List[Trace], until: Optional[float] = None) -> MeshResult:
+        """Inject traces, run (columnar or event engine), collect results.
+
+        With ``batch=True`` and batch-backed traces, the layered columnar
+        driver replaces the event calendar (``until`` must be None — a
+        truncated run needs the calendar); anything non-batchable falls
+        back to the engine with identical output.
+        """
         engine = Engine()
         self.wire(engine)
         ft = self.fattree
+        if self.batch and try_fast_path(ft, self._sender_taps,
+                                        self._receiver_taps, traces, until):
+            return self._finish()
         for trace in traces:
-            engine.inject_trace(trace.clone_packets(), lambda p: ft.edge_of(p.src))
+            packets = (trace.clone_packets() if hasattr(trace, "clone_packets")
+                       else trace.to_packets())
+            engine.inject_trace(packets, lambda p: ft.edge_of(p.src))
         engine.run(until=until)
+        return self._finish()
+
+    def _finish(self) -> MeshResult:
         for receiver in self.core_receivers.values():
             receiver.finalize()
         for receiver in self.dst_receivers.values():

@@ -70,6 +70,24 @@ class ObservationColumns:
         for column, field in zip(self._keys, key):
             column.append(field)
 
+    def extend_batch(self, tags, streams, times, values, keys) -> None:
+        """Bulk-append events from parallel numpy columns.
+
+        ``keys`` is a 5-tuple of int64 columns (zeros on reference rows,
+        mirroring ``_NO_KEY``).  Every value round-trips bit-exactly
+        through the typed arrays, so a bulk append leaves the log
+        byte-identical to the equivalent sequence of :meth:`append` calls
+        — the columnar receiver fast path records through this.
+        """
+        import numpy as np
+
+        self._tags.frombytes(np.ascontiguousarray(tags, dtype=np.int8).tobytes())
+        self._streams.frombytes(np.ascontiguousarray(streams, dtype=np.int64).tobytes())
+        self._times.frombytes(np.ascontiguousarray(times, dtype=np.float64).tobytes())
+        self._values.frombytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+        for column, field in zip(self._keys, keys):
+            column.frombytes(np.ascontiguousarray(field, dtype=np.int64).tobytes())
+
     def __len__(self) -> int:
         return len(self._tags)
 

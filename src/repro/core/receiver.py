@@ -169,14 +169,22 @@ class RliReceiver:
     def batch_capable(self) -> bool:
         """True when :meth:`observe_batch` reproduces :meth:`observe` exactly.
 
-        Requires a demux with a vectorized regular classifier and no
-        observation log (the log is a per-event side channel consumed by
-        the replay/sharding machinery; recording stays on the per-object
-        reference path).
+        Requires a demux with a vectorized regular classifier
+        (``classify_regular_batch`` plus a truthy ``batch_capable`` flag —
+        a path-classifier demux only advertises it when its classifier is
+        vectorizable).  Observation logs are recorded on the fast path too
+        — bulk-appended in observation order, byte-identical to per-event
+        appends — for the plain ``list`` and
+        :class:`~repro.core.obslog.ObservationColumns` representations;
+        an exotic log type falls back to the per-object path.
         """
-        return (
-            self.observation_log is None
-            and hasattr(self.demux, "classify_regular_batch")
+        log = self.observation_log
+        if log is not None and not (
+            isinstance(log, list) or hasattr(log, "extend_batch")
+        ):
+            return False
+        return bool(getattr(self.demux, "batch_capable", False)) and hasattr(
+            self.demux, "classify_regular_batch"
         )
 
     def observe_batch(
@@ -240,6 +248,7 @@ class RliReceiver:
         # --- references: per-object, in observation order (small stream)
         refs_by_stream: Dict[int, list] = {}  # stream -> [positions, times, delays]
         first_by_stream: Dict[int, int] = {}  # buffer-creation order
+        ref_log: List[list] = [[], [], [], []]  # accepted: pos, stream, t, delay
         clock_now = self.clock.now
         for p_obs, t, pkt in zip(
             pos[is_ref].tolist(), times[is_ref].tolist(), ref_packets
@@ -250,6 +259,11 @@ class RliReceiver:
                 continue
             self.references_accepted += 1
             delay = clock_now(t) - pkt.ref_timestamp
+            if self.observation_log is not None:
+                ref_log[0].append(p_obs)
+                ref_log[1].append(stream)
+                ref_log[2].append(t)
+                ref_log[3].append(delay)
             entry = refs_by_stream.get(stream)
             if entry is None:
                 entry = refs_by_stream[stream] = [[], [], []]
@@ -263,7 +277,7 @@ class RliReceiver:
         reg_times = times[is_reg]
         reg_hidx = header_index[is_reg]
         if len(reg_pos):
-            streams = self.demux.classify_regular_batch(headers.src[reg_hidx])
+            streams = self.demux.classify_regular_batch(headers, reg_hidx)
         else:
             streams = np.empty(0, dtype=np.int64)
         ignored = streams < 0
@@ -282,6 +296,12 @@ class RliReceiver:
         self.regulars_measured += len(mpos)
         mtaps = headers.ts[mhidx] if taps is None else reg_taps[keep]
         truth = mtimes - mtaps  # same op as scalar `now - tap_time`
+
+        if self.observation_log is not None:
+            self._log_batch(ref_log, mpos, mstreams, mtimes, mhidx, truth,
+                            headers)
+            if self.record_only:
+                return
 
         a_col, b_col = headers.packed_flow_keys()
         self._fold_flow_samples(
@@ -389,6 +409,69 @@ class RliReceiver:
                         est_e.tolist(), truth_all[emit].tolist(),
                     )
                 )
+
+    def _log_batch(self, ref_log, mpos, mstreams, mtimes, mhidx, truth,
+                   headers) -> None:
+        """Write one batch's observation events to the log, in stream order.
+
+        Reference and measured-regular events are interleaved by their
+        observation positions, reproducing the exact per-event append
+        sequence (and values) of the scalar path; plain lists take tuple
+        events, :class:`~repro.core.obslog.ObservationColumns` a bulk
+        column append.
+        """
+        n_ref = len(ref_log[0])
+        n_reg = len(mpos)
+        total = n_ref + n_reg
+        if not total:
+            return
+        log = self.observation_log
+        pos_all = np.concatenate([
+            np.asarray(ref_log[0], dtype=np.int64),
+            np.asarray(mpos, dtype=np.int64),
+        ])
+        if isinstance(log, list):
+            reg_keys = zip(
+                headers.src[mhidx].tolist(), headers.dst[mhidx].tolist(),
+                headers.sport[mhidx].tolist(), headers.dport[mhidx].tolist(),
+                headers.proto[mhidx].tolist(),
+            )
+            events = [
+                (REF_OBS, s, t, d)
+                for s, t, d in zip(ref_log[1], ref_log[2], ref_log[3])
+            ] + [
+                (REG_OBS, s, t, key, tr)
+                for s, t, key, tr in zip(
+                    mstreams.tolist(), mtimes.tolist(), reg_keys,
+                    truth.tolist(),
+                )
+            ]
+            log.extend(events[i] for i in np.argsort(pos_all, kind="stable").tolist())
+            return
+        # columnar log: scatter both event classes into their merged slots
+        rank = np.empty(total, dtype=np.intp)
+        rank[np.argsort(pos_all, kind="stable")] = np.arange(total)
+        ref_rank = rank[:n_ref]
+        reg_rank = rank[n_ref:]
+        tags = np.empty(total, dtype=np.int8)
+        tags[ref_rank] = REF_OBS
+        tags[reg_rank] = REG_OBS
+        streams_all = np.empty(total, dtype=np.int64)
+        streams_all[ref_rank] = np.asarray(ref_log[1], dtype=np.int64)
+        streams_all[reg_rank] = mstreams
+        times_all = np.empty(total, dtype=np.float64)
+        times_all[ref_rank] = np.asarray(ref_log[2], dtype=np.float64)
+        times_all[reg_rank] = mtimes
+        values_all = np.empty(total, dtype=np.float64)
+        values_all[ref_rank] = np.asarray(ref_log[3], dtype=np.float64)
+        values_all[reg_rank] = truth
+        keys = []
+        for column in (headers.src, headers.dst, headers.sport,
+                       headers.dport, headers.proto):
+            key_col = np.zeros(total, dtype=np.int64)
+            key_col[reg_rank] = column[mhidx]
+            keys.append(key_col)
+        log.extend_batch(tags, streams_all, times_all, values_all, keys)
 
     def _fold_flow_samples(
         self, table, qtable, headers, hidx, a, b, values

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..net.packet import Packet
 from ..sim.topology import FatTree
 
@@ -49,6 +51,60 @@ class ReverseEcmpClassifier:
             # intra-ToR or intra-pod flow: never crossed a core
             return None
         return self._map.get(core.node_id)
+
+    def classify_batch(self, headers, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over batch rows (``-1`` = None).
+
+        Recomputes the edge→agg and agg→core ECMP choices with the
+        switches' vectorized hashes, grouped by the (per-switch-seeded)
+        hasher each subset of flows consults — element-for-element
+        identical to the scalar recomputation.
+        """
+        ft = self._fattree
+        k = ft.k
+        half = k // 2
+        src = headers.src[rows]
+        dst = headers.dst[rows]
+        pod = (src >> 16) & 0xFF
+        edge = (src >> 8) & 0xFF
+        dpod = (dst >> 16) & 0xFF
+        dedge = (dst >> 8) & 0xFF
+        # flows that never crossed a core: bad host blocks, intra-pod,
+        # intra-ToR — exactly the ValueError arms of FatTree.up_path
+        valid = (
+            (pod < k) & (edge < half) & (dpod < k) & (dedge < half)
+            & (pod != dpod)
+        )
+        out = np.full(len(rows), -1, dtype=np.int64)
+        idx = np.flatnonzero(valid)
+        if not len(idx):
+            return out
+        vrows = rows[idx]
+        cols = (headers.src[vrows], headers.dst[vrows], headers.sport[vrows],
+                headers.dport[vrows], headers.proto[vrows])
+        vpod = pod[idx]
+        vedge = edge[idx]
+        # edge-level choice: group by source ToR (each edge has its own seed)
+        a = np.empty(len(idx), dtype=np.int64)
+        tor = vpod * half + vedge
+        for t in np.unique(tor):
+            sel = tor == t
+            hasher = ft.edges[int(t) // half][int(t) % half].hasher
+            a[sel] = hasher.choose_batch(*(c[sel] for c in cols), half)
+        # agg-level choice: group by (pod, a)
+        j = np.empty(len(idx), dtype=np.int64)
+        agg_group = vpod * half + a
+        for g in np.unique(agg_group):
+            sel = agg_group == g
+            hasher = ft.aggs[int(g) // half][int(g) % half].hasher
+            j[sel] = hasher.choose_batch(*(c[sel] for c in cols), half)
+        core_sender = np.full((half, half), -1, dtype=np.int64)
+        for ai in range(half):
+            for ji in range(half):
+                core_sender[ai, ji] = self._map.get(
+                    ft.cores[ai][ji].node_id, -1)
+        out[idx] = core_sender[a, j]
+        return out
 
     def __repr__(self) -> str:
         return f"ReverseEcmpClassifier(cores={sorted(self._map)})"

@@ -130,6 +130,13 @@ class RliSender:
         return [self.make_reference(cls, now)]
 
     @property
+    def policy_pure(self) -> bool:
+        """True when ``policy.gap`` is a pure function of the utilization
+        estimate — which only changes at EWMA window folds, the property
+        every inlined fast scan rests on."""
+        return type(self.policy) in (StaticInjection, AdaptiveInjection)
+
+    @property
     def batch_capable(self) -> bool:
         """True when the inlined fast scan is an exact stand-in.
 
@@ -137,15 +144,12 @@ class RliSender:
         regular traffic and inlines the per-packet sender arithmetic into
         its queue scan, so it requires (a) the default single-class
         classifier — custom classifiers inspect the packet — and (b) a
-        known-pure injection policy whose ``gap`` is a function of the
-        utilization estimate alone (the estimate only changes at EWMA
-        window folds, which is what makes the inlining exact).  Anything
-        else keeps the per-object reference path.
+        known-pure injection policy (see :attr:`policy_pure`).  Anything
+        else keeps the per-object reference path.  (The fat-tree layered
+        driver lifts restriction (a) by recomputing the wiring's own
+        classifier vectorized — see :meth:`fast_scan_state_classes`.)
         """
-        return (
-            self._classify is _classify_single
-            and type(self.policy) in (StaticInjection, AdaptiveInjection)
-        )
+        return self._classify is _classify_single and self.policy_pure
 
     # ------------------------------------------------------------------
     # inlined-scan state (columnar fast path)
@@ -164,22 +168,52 @@ class RliSender:
         asserts the inlined scan is bitwise-identical to per-packet
         :meth:`on_regular` calls.
         """
-        u = self.utilization
-        return (u._seen_any, u._window_start, u._window_bytes, u._estimate,
-                self._counters.get(0, 0), 0 in self._counters)
+        seen_any, wstart, wbytes, estimate, counters = \
+            self.fast_scan_state_classes()
+        return (seen_any, wstart, wbytes, estimate,
+                counters.get(0, 0), 0 in counters)
 
     def fast_scan_commit(self, seen_any: bool, window_start: float,
                          window_bytes: int, estimate: float, count: int,
                          regulars_seen: int) -> None:
         """Write an inlined scan's advanced scalars back (see
         :meth:`fast_scan_state`)."""
+        self.fast_scan_commit_classes(
+            seen_any, window_start, window_bytes, estimate,
+            {0: count} if 0 in self._counters else {}, regulars_seen)
+
+    def fast_scan_state_classes(self) -> tuple:
+        """Multi-class variant of :meth:`fast_scan_state`.
+
+        Returns ``(seen_any, window_start, window_bytes, estimate,
+        counters)`` where ``counters`` is a mutable copy of the per-class
+        1-and-n counters.  Used by the columnar fat-tree driver, which
+        recomputes each packet's path class externally (it knows the
+        wiring that built this sender's ``classify``): per observed
+        regular packet the scan folds the EWMA windows and adds the bytes
+        exactly as :meth:`fast_scan_state` describes, then — for packets
+        whose class is a known counter key — bumps that class's counter
+        against ``policy.gap(estimate)`` and emits
+        :meth:`make_reference` for the class on trigger.  Packets with no
+        class (``None``) update only the utilization, exactly like
+        :meth:`on_regular`.
+        """
+        u = self.utilization
+        return (u._seen_any, u._window_start, u._window_bytes, u._estimate,
+                dict(self._counters))
+
+    def fast_scan_commit_classes(self, seen_any: bool, window_start: float,
+                                 window_bytes: int, estimate: float,
+                                 counters: Dict[int, int],
+                                 regulars_seen: int) -> None:
+        """Write a multi-class inlined scan's advanced state back (see
+        :meth:`fast_scan_state_classes`)."""
         u = self.utilization
         u._seen_any = seen_any
         u._window_start = window_start
         u._window_bytes = window_bytes
         u._estimate = estimate
-        if 0 in self._counters:
-            self._counters[0] = count
+        self._counters.update(counters)
         self.regulars_seen += regulars_seen
 
     def make_reference(self, path_class: int, now: float) -> Packet:

@@ -32,9 +32,10 @@ import atexit
 import os
 import subprocess
 import sys
+import threading
 from multiprocessing.connection import Client
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, TextIO, Tuple
 
 from ..runner.cache import ResultCache, code_fingerprint
 from ..runner.runner import ParallelRunner, _prepare_key
@@ -49,6 +50,34 @@ from .protocol import (
 )
 
 __all__ = ["DistributedRunner"]
+
+
+def _relay_stderr(pipe, label: str, stream: Optional[TextIO] = None) -> None:
+    """Re-emit one worker's stderr line-atomically, each line labeled.
+
+    Embedded workers used to inherit the driver's stderr fd directly, so a
+    worker writing mid-progress-update (join notices, tracebacks) could
+    tear a :class:`~repro.distrib.progress.ProgressPrinter` line in half —
+    two processes, one fd, no write coordination.  Routing the pipe
+    through this relay makes every worker line a *single* ``write()`` of
+    one whole ``label``-prefixed line, which is as atomic as the progress
+    printer's own writes, so lines can interleave but never intersperse.
+    """
+    out = stream if stream is not None else sys.stderr
+    try:
+        for line in pipe:
+            if not line.endswith("\n"):
+                line += "\n"
+            try:
+                out.write(label + line)
+                out.flush()
+            except (OSError, ValueError):  # closed stream: best-effort
+                break
+    finally:
+        try:
+            pipe.close()
+        except OSError:
+            pass
 
 
 class DistributedRunner(ParallelRunner):
@@ -111,6 +140,7 @@ class DistributedRunner(ParallelRunner):
         self._external = parse_address(broker) if broker else None
         self._broker: Optional[Broker] = None
         self._procs: List[subprocess.Popen] = []
+        self._relays: List[threading.Thread] = []
         self._atexit_registered = False
         self.retries_observed = 0
 
@@ -154,6 +184,9 @@ class DistributedRunner(ParallelRunner):
         )
         # the worker must present the same cluster secret as the broker
         env["REPRO_DISTRIB_AUTHKEY"] = self._authkey.decode()
+        # the stderr relay below labels every line; the worker's own
+        # "[worker]" prefix would be redundant noise on top
+        env.setdefault("REPRO_WORKER_LOG_PREFIX", "")
         if extra_env:
             env.update(extra_env)
         command = [
@@ -163,8 +196,16 @@ class DistributedRunner(ParallelRunner):
         ]
         if self.worker_cache_dir:
             command += ["--cache-dir", str(self.worker_cache_dir)]
-        proc = subprocess.Popen(command, env=env)
+        index = len(self._procs)
+        proc = subprocess.Popen(command, env=env, stderr=subprocess.PIPE,
+                                text=True, errors="replace")
+        relay = threading.Thread(
+            target=_relay_stderr, args=(proc.stderr, f"[worker {index}] "),
+            daemon=True, name=f"repro-worker-stderr-{index}",
+        )
+        relay.start()
         self._procs.append(proc)
+        self._relays.append(relay)
         return proc
 
     def _ensure_cluster(self) -> None:
@@ -204,7 +245,10 @@ class DistributedRunner(ParallelRunner):
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait(timeout=5)
+        for relay in self._relays:
+            relay.join(timeout=5)
         self._procs.clear()
+        self._relays.clear()
         if self._broker is not None:
             self._broker.close()
             self._broker = None

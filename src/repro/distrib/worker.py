@@ -102,8 +102,13 @@ def worker_main(
 ) -> int:
     """Run one worker until the broker goes away; returns an exit code."""
     address: Tuple[str, int] = parse_address(connect)
+    # embedded workers get an empty prefix: the driver's stderr relay
+    # labels every line "[worker N]" itself (see DistributedRunner.
+    # spawn_worker); standalone workers keep the default label
+    prefix = os.environ.get("REPRO_WORKER_LOG_PREFIX", "[worker]")
     say = (lambda *a: None) if quiet else (
-        lambda *a: print("[worker]", *a, file=sys.stderr, flush=True)
+        lambda *a: print(*((prefix,) if prefix else ()) + a,
+                         file=sys.stderr, flush=True)
     )
     try:
         conn = Client(address, authkey=authkey_from_env(authkey))

@@ -71,6 +71,33 @@ class ParallelRunner:
     mp_context:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``/
         ``"forkserver"``); defaults to ``fork`` where available.
+
+    The job protocol
+    ----------------
+    A *job* is any picklable object with:
+
+    * ``run() -> result`` — execute; the result must be picklable and a
+      pure function of the job's fields (all seeds live in the job);
+    * ``cache_token() -> dict`` — a stable, JSON-serializable identity
+      (hashed with the code fingerprint into the cache key), required
+      only when a cache is attached.
+
+    Optional extensions the runner and the distributed backend exploit:
+
+    * ``prepare()`` / ``release_prepared()`` with a hashable
+      ``prepare_key`` — build (and later drop) an expensive artifact
+      shared by every job with the same key; under ``fork`` the runner
+      prewarms it once in the parent so children inherit it
+      copy-on-write;
+    * ``run_chunk(jobs) -> [result, ...]`` — execute several same-key
+      jobs in one pass (e.g. one replay sweep over a shared observation
+      log); used by the distributed workers' chunk dispatch.
+
+    Shipped implementations: :class:`~repro.runner.spec.JobSpec`
+    (pipeline conditions) and the study jobs in
+    :mod:`repro.experiments.extension_jobs` — see those for worked
+    ``cache_token``/``prepare_key`` examples, including how the
+    ``batch`` (columnar fast path) knob stays part of every identity.
     """
 
     def __init__(

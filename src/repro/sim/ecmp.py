@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["EcmpHasher", "craft_dport_for_port"]
 
 _MASK64 = (1 << 64) - 1
@@ -30,6 +32,17 @@ def _mix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return x ^ (x >> 31)
+
+
+def _mix64_batch(x: np.ndarray) -> np.ndarray:
+    """:func:`_mix64` over a uint64 array.
+
+    uint64 arithmetic is mod-2^64, i.e. exactly the scalar path's explicit
+    ``& _MASK64`` masking, so the two produce identical words bit for bit.
+    """
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
 
 
 class EcmpHasher:
@@ -85,6 +98,36 @@ class EcmpHasher:
         if n_ports == 1:
             return 0
         return self.hash_key(key) % n_ports
+
+    def hash_key_batch(self, src, dst, sport, dport, proto) -> np.ndarray:
+        """Vectorized :meth:`hash_key` over parallel flow-key columns.
+
+        Bit-identical to the scalar hash per element (uint64 wraparound ==
+        the scalar path's 64-bit masking); used by the columnar fat-tree
+        drivers and the reverse-ECMP batch classifier.
+        """
+        acc0 = _mix64(self.seed ^ 0x9E3779B97F4A7C15)
+        acc = np.full(len(src), acc0, dtype=np.uint64)
+        if "src" in self.fields:
+            acc = _mix64_batch(acc ^ np.asarray(src).astype(np.uint64))
+        if "dst" in self.fields:
+            acc = _mix64_batch(acc ^ (np.asarray(dst).astype(np.uint64) << np.uint64(1)))
+        if "sport" in self.fields:
+            acc = _mix64_batch(acc ^ (np.asarray(sport).astype(np.uint64) << np.uint64(2)))
+        if "dport" in self.fields:
+            acc = _mix64_batch(acc ^ (np.asarray(dport).astype(np.uint64) << np.uint64(3)))
+        if "proto" in self.fields:
+            acc = _mix64_batch(acc ^ (np.asarray(proto).astype(np.uint64) << np.uint64(4)))
+        return acc
+
+    def choose_batch(self, src, dst, sport, dport, proto, n_ports: int) -> np.ndarray:
+        """Vectorized :meth:`choose`: one int64 port index per element."""
+        if n_ports <= 0:
+            raise ValueError("n_ports must be positive")
+        if n_ports == 1:
+            return np.zeros(len(src), dtype=np.int64)
+        hashed = self.hash_key_batch(src, dst, sport, dport, proto)
+        return (hashed % np.uint64(n_ports)).astype(np.int64)
 
     def __repr__(self) -> str:
         return f"EcmpHasher(seed={self.seed}, fields={self.fields})"

@@ -1,0 +1,796 @@
+"""Layered columnar execution of instrumented fat-tree runs.
+
+The event engine (:mod:`repro.sim.engine`) drives a fat-tree one packet
+arrival at a time: heap pop, tap fan-out, LPM + ECMP route, analytic queue
+offer, heap push.  At the 10^5–10^6 packets of the mesh and localization
+studies the heap and the per-packet Python dispatch dominate the runtime,
+exactly as the per-object two-switch pipeline did before PR 3's columnar
+fast path.
+
+A three-tier fat-tree is *feed-forward*: every packet's queue sequence is
+
+    edge uplink  →  agg up-port  →  core down-port  →  agg down-port
+
+(truncated for intra-pod / intra-ToR traffic), and each queue's state
+depends only on its own arrival stream.  :class:`FatTreeFastPath` exploits
+this to replace the event calendar with one pass per *layer*: routing
+choices are recomputed vectorized (the switches' own
+:meth:`~repro.sim.ecmp.EcmpHasher.choose_batch`), each queue is driven by
+the exact running-``free_at`` scan of
+:meth:`~repro.sim.queue.FifoQueue.offer_batch` (tapped queues inline the
+sender's EWMA/1-and-n algebra via the
+:meth:`~repro.core.sender.RliSender.fast_scan_state_classes` contract), and
+each receiver consumes its complete merged observation stream through
+:meth:`~repro.core.receiver.RliReceiver.observe_batch` — **bitwise
+identical** to the engine, with the same float-op order at every step.
+
+Event-order fidelity
+--------------------
+The engine processes events in ``(time, insertion seq)`` order.  Within one
+queue's output, departure order *is* insertion order, so per-stream order is
+free; order between streams only matters where streams contend — a shared
+queue, or a shared receiver.  The driver therefore merges streams exactly at
+contention points, by arrival time — and recovers the engine's
+insertion-sequence tie-break *exactly* from event provenance: a scheduled
+event's seq order equals its parent event's processing order, so recursing
+down the ancestry, engine order is lexicographic on the reversed chain of
+ancestor event times, bottoming out at trace-injection order (initial
+events, scheduled before the run starts, precede every scheduled event —
+their missing ancestors are ``-inf``).  A three-tier fat-tree path touches
+at most five switches, so four ancestor levels plus the injection index
+make the merge key ``(time, t⁻¹, t⁻², t⁻³, t⁻⁴, origin)`` a *total* order
+identical to the calendar's — no tie can force a fallback (see
+:func:`_merged_order`).  The compute phase is side-effect-free — queues are
+scanned as fresh clones, sender state advances in locals, and reference
+packets are built without touching the sender — so a pre-flight fallback
+leaves every simulation object exactly as wired.
+
+What the fast path does not reproduce (by design, same as the pipeline's):
+per-``Packet`` bookkeeping for regular traffic (``hops``, ``path``,
+``tap_time`` on the objects — ground-truth taps ride a column instead),
+``Switch.local_sink`` contents, and the engine's ``delivered`` /
+``processed_events`` counters.  Everything a study reads — receiver tables
+and counters, observation logs, queue statistics — is bit-exact, which
+``tests/test_batch_equivalence_multihop.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.packet import Packet, PacketKind
+from ..traffic.batch import PacketBatch
+from .clock import DriftingClock, OffsetClock, PerfectClock
+from .queue import FifoQueue, _drop_free_threshold
+from .topology import FatTree
+
+__all__ = ["FastPathUnavailable", "FatTreeFastPath", "try_fast_path"]
+
+_REGULAR = int(PacketKind.REGULAR)
+_REFERENCE = int(PacketKind.REFERENCE)
+
+
+class FastPathUnavailable(Exception):
+    """The layered columnar pass cannot reproduce this run bit-exactly.
+
+    Raised during pre-flight — a non-batchable component (exotic queue or
+    observation log, custom policy, jittered clock), prior queue state, or
+    a trace outside the fabric's host blocks.  The compute phase mutates
+    nothing, so catching this and re-running on the event engine is always
+    safe.
+    """
+
+
+def try_fast_path(fattree: FatTree, sender_taps: Dict, receiver_taps: Dict,
+                  traces: Sequence, until: Optional[float] = None) -> bool:
+    """Attempt one layered columnar run of *traces*; ``True`` on success.
+
+    The deployments' shared dispatch (``RlirDeployment.run`` /
+    ``RlirMesh.run``): refuses a truncated run (``until`` needs the
+    calendar), coerces every trace to columns (any failure → ``False``),
+    and treats :class:`FastPathUnavailable` as a clean miss — the compute
+    phase mutates nothing, so the caller simply proceeds with the event
+    engine against untouched simulation objects.
+    """
+    if until is not None:
+        return False
+    batches = [PacketBatch.coerce(t) for t in traces]
+    if any(b is None for b in batches):
+        return False
+    try:
+        FatTreeFastPath(fattree, sender_taps, receiver_taps).run(batches)
+    except FastPathUnavailable:
+        return False
+    return True
+
+
+def _clock_is_pure(clock) -> bool:
+    """True when ``clock.now`` is a pure function of its argument."""
+    if type(clock) in (PerfectClock, OffsetClock):
+        return True
+    return type(clock) is DriftingClock and clock.jitter_std == 0.0
+
+
+def _clone_queue(queue: FifoQueue) -> FifoQueue:
+    """A fresh scan target with *queue*'s physical parameters."""
+    clone = FifoQueue(8.0, queue.buffer_bytes, queue.proc_delay, queue.name)
+    clone.rate_Bps = queue.rate_Bps  # honors set_rate() exactly
+    return clone
+
+
+#: Ancestor event-time levels carried per packet.  A three-tier fat-tree
+#: path visits at most five switches (edge → agg → core → agg → edge), so
+#: an event has at most four ancestors — depth 4 makes the merge key exact
+#: for every event the driver can produce.
+_PROV_DEPTH = 4
+
+
+def _merged_order(times: List[np.ndarray], provs: List[np.ndarray],
+                  origins: List[np.ndarray]) -> np.ndarray:
+    """Sort permutation merging per-stream events into exact engine order.
+
+    The engine processes events in ``(time, insertion seq)`` order.
+    Within one stream, time order *is* seq order (``lexsort`` is stable).
+    Across streams, a coincident event time is resolved by seq — which the
+    layered pass reconstructs from provenance: a scheduled event's seq
+    order equals its *parent* event's processing order, so recursing down
+    the ancestry, engine order is lexicographic on
+    ``(time, t⁻¹, …, t⁻⁴, origin)`` where ``t⁻ᵏ`` is the k-th ancestor
+    event's time (``-inf`` past the injection — initial events, scheduled
+    before the run starts, hold the lowest seqs, which is exactly what
+    ``-inf`` encodes at a coincident time) and ``origin`` is the
+    trace-injection order, the seq order of the initial events themselves.
+    Two distinct packets cannot share the whole key, so this is a total
+    order — bit-identical to the calendar's, with no fallback case.
+    """
+    time = np.concatenate(times)
+    prov = np.concatenate(provs)
+    origin = np.concatenate(origins)
+    return np.lexsort((origin,) + tuple(
+        prov[:, level] for level in range(_PROV_DEPTH - 1, -1, -1)
+    ) + (time,))
+
+
+class _Stream:
+    """Packets arriving somewhere, as parallel time-sorted arrays.
+
+    ``hidx`` indexes the global header batch (-1 on reference rows);
+    ``refslot`` indexes the driver's reference list (-1 on regular rows);
+    ``prov`` is the ``(n, _PROV_DEPTH)`` ancestor-event-time matrix —
+    column k holds the packet's arrival time k+1 switches ago, ``-inf``
+    past its injection — and ``origin`` the trace-injection order (a
+    reference inherits its trigger's), which together recover the engine's
+    exact tie-break order (see :func:`_merged_order`).
+    """
+
+    __slots__ = ("time", "size", "kind", "hidx", "refslot", "prov", "origin")
+
+    def __init__(self, time, size, kind, hidx, refslot, prov, origin):
+        self.time = time
+        self.size = size
+        self.kind = kind
+        self.hidx = hidx
+        self.refslot = refslot
+        self.prov = prov
+        self.origin = origin
+
+    @classmethod
+    def regular(cls, time, size, hidx) -> "_Stream":
+        """An initial-injection stream: no ancestors, origin = heap order."""
+        n = len(time)
+        return cls(time, size, np.full(n, _REGULAR, dtype=np.int64), hidx,
+                   np.full(n, -1, dtype=np.int64),
+                   np.full((n, _PROV_DEPTH), -np.inf), hidx)
+
+    def __len__(self) -> int:
+        return len(self.time)
+
+    def take(self, rows) -> "_Stream":
+        return _Stream(self.time[rows], self.size[rows], self.kind[rows],
+                       self.hidx[rows], self.refslot[rows], self.prov[rows],
+                       self.origin[rows])
+
+    @staticmethod
+    def merge(streams: List["_Stream"]) -> "_Stream":
+        streams = [s for s in streams if len(s)]
+        if not streams:
+            zi = np.empty(0, dtype=np.int64)
+            return _Stream(np.empty(0), zi, zi, zi, zi,
+                           np.empty((0, _PROV_DEPTH)), zi)
+        if len(streams) == 1:
+            return streams[0]
+        order = _merged_order([s.time for s in streams],
+                              [s.prov for s in streams],
+                              [s.origin for s in streams])
+        return _Stream(*(
+            np.concatenate([getattr(s, name) for s in streams])[order]
+            for name in _Stream.__slots__
+        ))
+
+
+class _SenderScan:
+    """Deferred state advanced by one tapped queue's inlined scan."""
+
+    __slots__ = ("sender", "seen_any", "wstart", "wbytes", "estimate",
+                 "counters", "regulars_seen", "refs_built")
+
+    def __init__(self, sender):
+        self.sender = sender
+        (self.seen_any, self.wstart, self.wbytes, self.estimate,
+         self.counters) = sender.fast_scan_state_classes()
+        self.regulars_seen = 0
+        self.refs_built = 0
+
+    def commit(self) -> None:
+        self.sender.fast_scan_commit_classes(
+            self.seen_any, self.wstart, self.wbytes, self.estimate,
+            self.counters, self.regulars_seen)
+        self.sender.refs_injected += self.refs_built
+
+
+def _build_reference(sender, path_class: int, now: float) -> Packet:
+    """:meth:`RliSender.make_reference` without mutating the sender.
+
+    Field-for-field the same construction (the sender's counters move in
+    the scan's locals; ``refs_injected`` is committed afterwards), so the
+    emitted packet is identical to the object path's.
+    """
+    template = sender.templates[path_class]
+    ref = Packet(
+        src=template.src,
+        dst=template.dst,
+        sport=template.sport,
+        dport=template.dport,
+        proto=template.proto,
+        size=template.size,
+        ts=now,
+        kind=PacketKind.REFERENCE,
+        sender_id=sender.sender_id,
+        ref_timestamp=sender.clock.now(now),
+    )
+    ref.tap_time = now
+    return ref
+
+
+class FatTreeFastPath:
+    """One-shot layered columnar run of an instrumented fat-tree.
+
+    Parameters
+    ----------
+    fattree:
+        The fabric.  Queues must be untouched (fresh or reset) — the scan
+        clones continue from zero backlog, exactly like a fresh run.
+    sender_taps:
+        ``(switch, port_index) -> (sender, classify_spec)`` for every
+        enqueue-tapped port.  ``classify_spec`` is the declarative,
+        vectorizable description of the closure the deployment wired as
+        the sender's ``classify``:
+
+        * ``("hash", hasher, n)`` — path class = ``hasher.choose`` of the
+          packet 5-tuple over *n* ports (the ToR uplink senders: the
+          aggregation switch's core choice);
+        * ``("tor_map", ((pod, edge, class), ...))`` — first ToR /24
+          prefix containing ``dst`` wins, no match = no class (the core
+          egress senders).
+    receiver_taps:
+        ``switch -> receiver`` for every arrival-tapped switch (cores and
+        destination ToRs).
+    """
+
+    def __init__(self, fattree: FatTree, sender_taps: Dict, receiver_taps: Dict):
+        self.ft = fattree
+        self.sender_taps = {
+            (switch.node_id, port): tap
+            for (switch, port), tap in sender_taps.items()
+        }
+        self.receiver_taps = {
+            switch.node_id: rx for switch, rx in receiver_taps.items()
+        }
+        self._ref_objs: List[Packet] = []
+        self._ref_rj: List[int] = []  # ToR refs: the agg's core choice
+        self._ref_re: List[int] = []  # core refs: destination edge index
+        self._scans: List[_SenderScan] = []
+        self._clones: List[Tuple[FifoQueue, FifoQueue]] = []
+
+    # ------------------------------------------------------------------
+    # pre-flight
+
+    def _check(self) -> None:
+        for rx in self.receiver_taps.values():
+            if rx._finalized:
+                raise FastPathUnavailable(f"receiver {rx!r} already finalized")
+            if not rx.batch_capable:
+                raise FastPathUnavailable(
+                    f"receiver {rx!r} is not batch-capable (demux or "
+                    f"observation-log representation)")
+        for tx, _spec in self.sender_taps.values():
+            if not tx.policy_pure:
+                raise FastPathUnavailable(
+                    f"sender {tx.sender_id}: custom injection policy")
+            if not _clock_is_pure(tx.clock):
+                raise FastPathUnavailable(
+                    f"sender {tx.sender_id}: stateful (jittered) clock")
+
+    def _queue(self, switch, port_index: int) -> Tuple[FifoQueue, float]:
+        """A fresh scan clone (and prop delay) for one egress port."""
+        port = switch.ports[port_index]
+        q = port.queue
+        if type(q) is not FifoQueue:
+            raise FastPathUnavailable(
+                f"{q!r} is not a plain tail-drop FifoQueue")
+        if q._free_at != 0.0 or q.stats.arrivals:
+            raise FastPathUnavailable(f"{q!r} carries prior traffic")
+        clone = _clone_queue(q)
+        self._clones.append((q, clone))
+        return clone, port.prop_delay
+
+    # ------------------------------------------------------------------
+
+    def run(self, batches: Sequence[PacketBatch]) -> None:
+        """Execute the run; commits results only if the whole pass succeeds.
+
+        Raises :class:`FastPathUnavailable` (mutating nothing) when
+        pre-flight finds a non-batchable component or an out-of-model
+        trace; the caller then re-runs on the event engine.
+        """
+        self._check()
+        ft = self.ft
+        k = ft.k
+        half = k // 2
+
+        # ---- global header batch in the engine's initial heap order ----
+        gb = PacketBatch.concat(batches)
+        if len(gb):
+            gb = gb.take(np.argsort(gb.ts, kind="stable"))
+        if len(gb) and not np.all(gb.kind == _REGULAR):
+            raise FastPathUnavailable("trace contains non-regular packets")
+        src = gb.src
+        dst = gb.dst
+        spod = (src >> 16) & 0xFF
+        sedge = (src >> 8) & 0xFF
+        dpod = (dst >> 16) & 0xFF
+        dedge = (dst >> 8) & 0xFF
+        ok = (
+            ((src >> 24) == 10) & ((dst >> 24) == 10)
+            & (spod < k) & (sedge < half) & (dpod < k) & (dedge < half)
+        )
+        if not np.all(ok):
+            raise FastPathUnavailable("trace packets outside the host blocks")
+        self._dpod, self._dedge = dpod, dedge
+
+        cols = (gb.src, gb.dst, gb.sport, gb.dport, gb.proto)
+        local = (spod == dpod) & (sedge == dedge)  # intra-ToR: no queue
+        n = len(gb)
+        # routing recomputation, vectorized with the switches' own hashes:
+        # a = the source edge's uplink (ECMP over half aggs), j = the agg's
+        # core choice — also the ToR senders' path class
+        a_choice = np.zeros(n, dtype=np.int64)
+        j_choice = np.zeros(n, dtype=np.int64)
+        rows_by_edge: Dict[Tuple[int, int], np.ndarray] = {}
+        for p in range(k):
+            for e in range(half):
+                rows = np.flatnonzero((spod == p) & (sedge == e))
+                if not len(rows):
+                    continue
+                rows_by_edge[(p, e)] = rows
+                up = rows[~local[rows]]
+                if len(up):
+                    a_choice[up] = ft.edges[p][e].hasher.choose_batch(
+                        *(c[up] for c in cols), half)
+        for p in range(k):
+            for a in range(half):
+                rows = np.flatnonzero((spod == p) & ~local & (a_choice == a))
+                if len(rows):
+                    j_choice[rows] = ft.aggs[p][a].hasher.choose_batch(
+                        *(c[rows] for c in cols), half)
+
+        # ground-truth tap column (the object path's packet.tap_time);
+        # snapshots are taken as each receiver segment forms, so a segment
+        # sees exactly the stamps that preceded it
+        tap_col = np.full(n, np.nan)
+        rx_segments: Dict[int, List[Tuple[_Stream, np.ndarray]]] = {
+            node: [] for node in self.receiver_taps
+        }
+
+        def snapshot(node_id: int, stream: _Stream) -> None:
+            taps = np.where(stream.hidx >= 0,
+                            tap_col[np.maximum(stream.hidx, 0)], np.nan)
+            rx_segments[node_id].append((stream, taps))
+
+        # ---- layer 1: edge switches (origination + uplink queues) ----
+        edge_up_out: Dict[Tuple[int, int, int], _Stream] = {}
+        for (p, e), rows in sorted(rows_by_edge.items()):
+            edge = ft.edges[p][e]
+            if edge.node_id in rx_segments:
+                # arrival taps fire for locally-originating packets too,
+                # before any tap could stamp them: all-NaN tap snapshot
+                l0 = _Stream.regular(gb.ts[rows], gb.size[rows], rows)
+                rx_segments[edge.node_id].append(
+                    (l0, np.full(len(l0), np.nan)))
+            up_rows = ~local[rows]
+            for a in range(half):
+                sub = rows[up_rows & (a_choice[rows] == a)]
+                if not len(sub):
+                    continue
+                port_index = ft.port_toward(edge, ft.aggs[p][a])
+                stream = _Stream.regular(gb.ts[sub], gb.size[sub], sub)
+                edge_up_out[(p, e, a)] = self._drive_queue(
+                    edge, port_index, stream, cols, tap_col)
+
+        # ---- layer 2: aggregation up-ports (toward the cores) ----
+        core_in: Dict[Tuple[int, int, int], List[_Stream]] = {}
+        down_in: Dict[Tuple[int, int, int], List[_Stream]] = {}
+        for (p, e, a), stream in sorted(edge_up_out.items()):
+            is_ref = stream.refslot >= 0
+            inter = np.array(is_ref)  # refs (dst = a core) always climb
+            reg = ~is_ref
+            inter[reg] = dpod[stream.hidx[reg]] != p
+            # intra-pod regulars turn down at the agg; their queue offers
+            # contend with core down-traffic, so they join layer 4's merge
+            intra = stream.take(np.flatnonzero(reg & ~inter))
+            if len(intra):
+                for e2 in np.unique(dedge[intra.hidx]).tolist():
+                    down_in.setdefault((p, a, int(e2)), []).append(
+                        intra.take(np.flatnonzero(dedge[intra.hidx] == e2)))
+            up = stream.take(np.flatnonzero(inter))
+            if not len(up):
+                continue
+            jcol = self._route_col(up, j_choice, self._ref_rj)
+            for j in np.unique(jcol).tolist():
+                j = int(j)
+                core_in.setdefault((a, j, p), []).append(
+                    up.take(np.flatnonzero(jcol == j)))
+
+        agg_up_out: Dict[Tuple[int, int, int], _Stream] = {}
+        for (i, j, p), pieces in sorted(core_in.items()):
+            agg = ft.aggs[p][i]
+            core = ft.cores[i][j]
+            merged = _Stream.merge(pieces)
+            agg_up_out[(i, j, p)] = self._drive_queue(
+                agg, ft.port_toward(agg, core), merged, cols, tap_col)
+
+        # ---- layer 3: cores (receivers + egress toward the dst pods) ----
+        coredown_out: Dict[Tuple[int, int, int], _Stream] = {}
+        for i in range(half):
+            for j in range(half):
+                core = ft.cores[i][j]
+                pieces = [agg_up_out[(i, j, p)] for p in range(k)
+                          if (i, j, p) in agg_up_out]
+                if not pieces:
+                    continue
+                stream = _Stream.merge(pieces)
+                if core.node_id in rx_segments:
+                    snapshot(core.node_id, stream)
+                # references terminate here; regulars route down by pod
+                reg = stream.take(np.flatnonzero(stream.refslot < 0))
+                if not len(reg):
+                    continue
+                pods = dpod[reg.hidx]
+                for p in np.unique(pods).tolist():
+                    p = int(p)
+                    piece = reg.take(np.flatnonzero(pods == p))
+                    port_index = ft.port_toward(core, ft.aggs[p][i])
+                    coredown_out[(i, j, p)] = self._drive_queue(
+                        core, port_index, piece, cols, tap_col)
+
+        # ---- layer 4: aggregation down-ports (toward the edges) ----
+        for (i, j, p), stream in sorted(coredown_out.items()):
+            ecol = self._route_col(stream, dedge, self._ref_re)
+            for e in np.unique(ecol).tolist():
+                e = int(e)
+                down_in.setdefault((p, i, e), []).append(
+                    stream.take(np.flatnonzero(ecol == e)))
+        edge_in: Dict[Tuple[int, int, int], _Stream] = {}
+        for (p, i, e), pieces in sorted(down_in.items()):
+            agg = ft.aggs[p][i]
+            edge = ft.edges[p][e]
+            merged = _Stream.merge(pieces)
+            edge_in[(p, e, i)] = self._drive_queue(
+                agg, ft.port_toward(agg, edge), merged, cols, tap_col)
+
+        # ---- layer 5: destination edges (arrival taps only) ----
+        for (p, e, i), stream in sorted(edge_in.items()):
+            edge = ft.edges[p][e]
+            if edge.node_id in rx_segments:
+                snapshot(edge.node_id, stream)
+
+        # ---- merge each receiver's segments into engine arrival order ----
+        observations: List[Tuple[object, _Stream, np.ndarray]] = []
+        for node_id, segments in sorted(rx_segments.items()):
+            segments = [(s, t) for s, t in segments if len(s)]
+            if not segments:
+                continue
+            receiver = self.receiver_taps[node_id]
+            if len(segments) == 1:
+                stream, taps = segments[0]
+            else:
+                order = _merged_order([s.time for s, _ in segments],
+                                      [s.prov for s, _ in segments],
+                                      [s.origin for s, _ in segments])
+                stream = _Stream(*(
+                    np.concatenate([getattr(s, name) for s, _ in segments])[order]
+                    for name in _Stream.__slots__
+                ))
+                taps = np.concatenate([t for _, t in segments])[order]
+            observations.append((receiver, stream, taps))
+
+        # ---- everything computed and tie-free: commit ----
+        for real, clone in self._clones:
+            real._free_at = clone._free_at
+            real.stats = clone.stats
+        for scan in self._scans:
+            scan.commit()
+        for receiver, stream, taps in observations:
+            refs = [self._ref_objs[s]
+                    for s in stream.refslot[stream.refslot >= 0].tolist()]
+            receiver.observe_batch(stream.time, stream.kind, gb, stream.hidx,
+                                   taps, refs)
+
+    def _route_col(self, stream: _Stream, table: np.ndarray,
+                   ref_table: List[int]) -> np.ndarray:
+        """Per-row routing value: *table[hidx]* for regulars, the stored
+        per-reference value for reference rows."""
+        out = np.where(stream.hidx >= 0,
+                       table[np.maximum(stream.hidx, 0)], -1)
+        ref_rows = np.flatnonzero(stream.refslot >= 0)
+        if len(ref_rows):
+            refs = np.asarray(ref_table, dtype=np.int64)
+            out[ref_rows] = refs[stream.refslot[ref_rows]]
+        return out
+
+    # ------------------------------------------------------------------
+    # queue scans
+
+    def _drive_queue(self, switch, port_index: int, stream: _Stream,
+                     cols, tap_col) -> _Stream:
+        """Offer *stream* to one egress queue; return the next-hop arrivals.
+
+        Dispatches to the plain clone scan or, when the port carries an
+        RLI sender tap, the inlined multi-class sender scan.  Output times
+        are ``departure + prop_delay`` — the same float op the engine's
+        ``schedule_arrival(departure + port.prop_delay, …)`` applies.
+        """
+        tap = self.sender_taps.get((switch.node_id, port_index))
+        clone, prop = self._queue(switch, port_index)
+        if tap is None:
+            departures, accepted = clone.offer_batch(stream.time, stream.size)
+            out = stream.take(np.flatnonzero(accepted))
+            # the next hop's parent event is this packet's arrival here:
+            # shift the ancestry one level down, prepending this arrival
+            prov = np.column_stack([out.time, out.prov[:, :-1]])
+            return _Stream(departures[accepted] + prop, out.size, out.kind,
+                           out.hidx, out.refslot, prov, out.origin)
+        sender, spec = tap
+        return self._sender_scan(clone, prop, stream, sender, spec, cols,
+                                 tap_col)
+
+    def _classes(self, spec, rows: np.ndarray, cols) -> np.ndarray:
+        """Vectorized path classes for *rows* under a classify spec (-1 = None)."""
+        if spec[0] == "hash":
+            _tag, hasher, n_ports = spec
+            return hasher.choose_batch(*(c[rows] for c in cols), n_ports)
+        if spec[0] == "tor_map":
+            out = np.full(len(rows), -1, dtype=np.int64)
+            for pod, e, cls in reversed(spec[1]):  # first match wins
+                out[(self._dpod[rows] == pod) & (self._dedge[rows] == e)] = cls
+            return out
+        raise FastPathUnavailable(f"unknown classify spec {spec[0]!r}")
+
+    def _sender_scan(self, queue: FifoQueue, prop: float, stream: _Stream,
+                     sender, spec, cols, tap_col) -> _Stream:
+        """Columnar tapped queue: offer scan + inlined sender observation.
+
+        Applies, per row, exactly the float-op sequence of
+        :meth:`FifoQueue.offer` with the sender's EWMA/1-and-n algebra
+        interleaved as per-packet ``on_regular`` calls would be (enqueue
+        taps fire on acceptance; references are offered immediately behind
+        their trigger with the same queue arithmetic) — the multi-class
+        generalization of the chain's first-hop scan, following the
+        :meth:`~repro.core.sender.RliSender.fast_scan_state_classes`
+        contract.
+        """
+        n_in = len(stream)
+        cls_l = self._classes(spec, stream.hidx, cols).tolist()
+        ts_l = stream.time.tolist()
+        t_l = (stream.time + queue.proc_delay).tolist()
+        svc_l = (stream.size / queue.rate_Bps).tolist()
+        size_l = stream.size.tolist()
+
+        proc = queue.proc_delay
+        rate_Bps = queue.rate_Bps
+        buffer_bytes = queue.buffer_bytes
+        fa = queue._free_at
+        scan = _SenderScan(sender)
+        seen_any, wstart, wbytes = scan.seen_any, scan.wstart, scan.wbytes
+        estimate, counters = scan.estimate, scan.counters
+        regulars_seen = 0
+
+        utilization = sender.utilization
+        window = utilization.window
+        alpha = utilization.alpha
+        capacity = utilization._capacity_per_window
+        policy_gap = sender.policy.gap
+        gap = policy_gap(estimate)
+
+        is_uplink = spec[0] == "hash"
+        ref_meta_rj: List[int] = []
+        ref_meta_re: List[int] = []
+
+        ref_dropped = 0
+        bytes_drop = 0
+        ref_arrivals = 0
+        ref_bytes_in = 0
+        drop_idx: List[int] = []
+        acc_dep: List[float] = []
+        n_acc = 0
+        ref_pos: List[int] = []
+        ref_dep: List[float] = []
+        ref_trig: List[int] = []  # trigger's input row: ancestry donor
+        new_refs: List[Packet] = []
+        dep_append = acc_dep.append
+        tap_rows: List[int] = []
+        tap_times: List[float] = []
+
+        if buffer_bytes is None:
+            threshold = math.inf
+        else:
+            threshold = _drop_free_threshold(
+                buffer_bytes, int(stream.size.max()) if n_in else 0, rate_Bps)
+        for i, (now, t, svc, size) in enumerate(zip(ts_l, t_l, svc_l, size_l)):
+            # same float ops as FifoQueue.offer (see offer_batch's arms)
+            backlog = fa - t
+            if backlog > threshold:
+                clamped = backlog * rate_Bps if backlog > 0.0 else 0.0
+                if clamped + size > buffer_bytes:
+                    drop_idx.append(i)
+                    bytes_drop += size
+                    continue
+                fa = (t if t > fa else fa) + svc
+            elif backlog > 0.0:
+                fa = fa + svc
+            else:
+                fa = t + svc
+            n_acc += 1
+            dep_append(fa)
+            # --- enqueue tap on acceptance: ground-truth stamp + sender ---
+            tap_rows.append(i)
+            tap_times.append(now)
+            # inlined RliSender.on_regular: utilization first, always
+            if not seen_any:
+                wstart = now - (now % window)
+                seen_any = True
+            wend = wstart + window
+            if now >= wend:
+                while True:
+                    sample = wbytes / capacity
+                    if sample > 1.0:
+                        sample = 1.0  # min(1.0, sample)
+                    estimate += alpha * (sample - estimate)
+                    wbytes = 0
+                    wstart = wend
+                    wend = wstart + window
+                    if now < wend:
+                        break
+                gap = policy_gap(estimate)
+            wbytes += size
+            c = cls_l[i]
+            if c < 0 or c not in counters:
+                continue
+            regulars_seen += 1
+            count = counters[c] + 1
+            if count < gap:
+                counters[c] = count
+                continue
+            counters[c] = 0
+            ref = _build_reference(sender, c, now)
+            scan.refs_built += 1
+            # inject right behind the trigger: same queue float ops
+            rsize = ref.size
+            ref_arrivals += 1
+            ref_bytes_in += rsize
+            rt = now + proc
+            if buffer_bytes is not None:
+                backlog = fa - rt
+                backlog = backlog * rate_Bps if backlog > 0.0 else 0.0
+                if backlog + rsize > buffer_bytes:
+                    ref_dropped += 1
+                    bytes_drop += rsize
+                    ref.dropped = True
+                    continue
+            fa = (rt if rt > fa else fa) + rsize / rate_Bps
+            ref_pos.append(n_acc + len(new_refs))
+            ref_dep.append(fa)
+            ref_trig.append(i)
+            new_refs.append(ref)
+            if is_uplink:
+                # the ref climbs at the agg by its own 5-tuple hash (the
+                # template's crafted dport steers it to the class's core)
+                ref_meta_rj.append(spec[1].choose(ref.flow_key, spec[2]))
+                ref_meta_re.append(-1)
+            else:
+                ref_meta_rj.append(-1)
+                ref_meta_re.append((ref.dst >> 8) & 0xFF)
+
+        scan.seen_any, scan.wstart, scan.wbytes = seen_any, wstart, wbytes
+        scan.estimate, scan.counters = estimate, counters
+        scan.regulars_seen = regulars_seen
+        self._scans.append(scan)
+        if tap_rows:
+            tap_col[stream.hidx[np.asarray(tap_rows, dtype=np.intp)]] = tap_times
+
+        queue._free_at = fa
+        stats = queue.stats
+        dropped = len(drop_idx) + ref_dropped
+        bytes_in = (int(stream.size.sum()) if n_in else 0) + ref_bytes_in
+        arrivals = n_in + ref_arrivals
+        stats.arrivals += arrivals
+        stats.bytes_in += bytes_in
+        stats.accepted += arrivals - dropped
+        stats.dropped += dropped
+        stats.bytes_accepted += bytes_in - bytes_drop
+        stats.bytes_dropped += bytes_drop
+
+        # assemble the acceptance-order output with references spliced in
+        slot0 = len(self._ref_objs)
+        self._ref_objs.extend(new_refs)
+        self._ref_rj.extend(ref_meta_rj)
+        self._ref_re.extend(ref_meta_re)
+        n_ref = len(new_refs)
+        total = n_acc + n_ref
+        is_ref = np.zeros(total, dtype=bool)
+        if n_ref:
+            is_ref[np.asarray(ref_pos, dtype=np.intp)] = True
+        is_row = ~is_ref
+        if drop_idx:
+            acc_rows = np.delete(np.arange(n_in, dtype=np.int64), drop_idx)
+        else:
+            acc_rows = np.arange(n_in, dtype=np.int64)
+        time_a = np.empty(total)
+        size_a = np.empty(total, dtype=np.int64)
+        kind_a = np.full(total, _REGULAR, dtype=np.int64)
+        hidx_a = np.full(total, -1, dtype=np.int64)
+        refslot_a = np.full(total, -1, dtype=np.int64)
+        time_a[is_row] = acc_dep
+        size_a[is_row] = stream.size[acc_rows]
+        hidx_a[is_row] = stream.hidx[acc_rows]
+        if n_ref:
+            time_a[is_ref] = ref_dep
+            size_a[is_ref] = [r.size for r in new_refs]
+            kind_a[is_ref] = _REFERENCE
+            refslot_a[is_ref] = np.arange(slot0, slot0 + n_ref, dtype=np.int64)
+
+        # arrival-at-this-switch per output row: the queue-delay base and
+        # the next hop's parent event time (a reference's parent is its
+        # trigger's arrival event, which is when it was built: ref.ts);
+        # deeper ancestry and origin come from the input row — a reference
+        # inherits its trigger's, sharing the trigger event's seq ancestry
+        arr_a = np.empty(total)
+        arr_a[is_row] = stream.time[acc_rows]
+        prov_in = np.empty((total, stream.prov.shape[1]))
+        prov_in[is_row] = stream.prov[acc_rows]
+        origin_a = np.empty(total, dtype=np.int64)
+        origin_a[is_row] = stream.origin[acc_rows]
+        if n_ref:
+            arr_a[is_ref] = [r.ts for r in new_refs]
+            trig = np.asarray(ref_trig, dtype=np.intp)
+            prov_in[is_ref] = stream.prov[trig]
+            origin_a[is_ref] = stream.origin[trig]
+
+        # fold the delay statistics in acceptance order, exactly as
+        # per-packet offers would have (explicit accumulation loop)
+        if total:
+            delay_l = (time_a - arr_a).tolist()
+            total_delay = stats.total_delay
+            for delay in delay_l:
+                total_delay += delay
+            stats.total_delay = total_delay
+            peak = max(delay_l)
+            if peak > stats.max_delay:
+                stats.max_delay = peak
+            stats.last_departure = float(time_a[-1])
+
+        return _Stream(time_a + prop, size_a, kind_a, hidx_a, refslot_a,
+                       np.column_stack([arr_a, prov_in[:, :-1]]), origin_a)

@@ -39,17 +39,9 @@ import numpy as np
 
 from ..net.packet import Packet, PacketKind
 from ..traffic.batch import PacketBatch
-from .queue import FifoQueue, _drop_free_threshold
+from .queue import FifoQueue, _drop_free_threshold, _scatter_merge
 
 __all__ = ["PipelineConfig", "PipelineResult", "TwoSwitchPipeline"]
-
-
-def _scatter_merge(a, b, pos_a, pos_b, dtype):
-    """Merge two arrays into their precomputed merged positions."""
-    out = np.empty(len(a) + len(b), dtype=dtype)
-    out[pos_a] = a
-    out[pos_b] = b
-    return out
 
 
 class PipelineConfig:

@@ -31,6 +31,19 @@ from ..net.packet import Packet
 __all__ = ["FifoQueue", "QueueStats"]
 
 
+def _scatter_merge(a, b, pos_a, pos_b, dtype):
+    """Merge two arrays into their precomputed merged positions.
+
+    Shared by the pipeline and chain batch drivers, whose two
+    ``searchsorted`` passes compute each element's merged position with
+    ``heapq.merge``'s tie rule.
+    """
+    out = np.empty(len(a) + len(b), dtype=dtype)
+    out[pos_a] = a
+    out[pos_b] = b
+    return out
+
+
 def _drop_free_threshold(buffer_bytes: int, max_size: int, rate_Bps: float) -> float:
     """Largest certified drop-free backlog time for a batch of arrivals.
 

@@ -167,6 +167,87 @@ class TestProgress:
         assert lines[0].startswith("[distrib] ")
 
 
+class TestWorkerStderrRelay:
+    """Regression: embedded worker stderr must not tear progress lines.
+
+    Workers used to inherit the driver's stderr fd, so a worker writing
+    (join notices, tracebacks) mid-update could intersperse bytes inside a
+    :class:`ProgressPrinter` line.  The relay re-emits every worker line
+    as a single labeled ``write()``, the same atomicity unit the printer
+    itself uses.
+    """
+
+    class _WriteRecorder:
+        """A stream recording each individual write() call."""
+
+        def __init__(self):
+            self.writes = []
+
+        def write(self, text):
+            self.writes.append(text)
+
+        def flush(self):
+            pass
+
+    def test_relay_emits_whole_prefixed_lines_only(self):
+        import io
+
+        from repro.distrib.runner import _relay_stderr
+
+        sink = self._WriteRecorder()
+        # chunked source: iteration yields lines regardless of how the
+        # worker buffered its writes; last line lacks the newline (a
+        # truncated write at death)
+        pipe = io.StringIO("joined broker as worker 3\n"
+                           "Traceback (most recent call last):\n"
+                           "  boom")
+        _relay_stderr(pipe, "[worker 3] ", stream=sink)
+        assert sink.writes == [
+            "[worker 3] joined broker as worker 3\n",
+            "[worker 3] Traceback (most recent call last):\n",
+            "[worker 3]   boom\n",
+        ]
+
+    def test_concurrent_relays_and_printer_never_intersperse(self):
+        import io
+        import threading
+
+        from repro.distrib.runner import _relay_stderr
+
+        sink = self._WriteRecorder()
+        printer = ProgressPrinter(stream=sink, prefix="[distrib] ")
+        threads = [
+            threading.Thread(target=_relay_stderr, args=(
+                io.StringIO("".join(f"worker {w} line {i}\n" for i in range(50))),
+                f"[worker {w}] ", sink))
+            for w in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for i in range(50):
+            printer(ProgressSnapshot(total=100, done=i))
+        for t in threads:
+            t.join()
+        # every write call is exactly one whole labeled line — interleaved
+        # between writers perhaps, but never torn mid-line
+        assert len(sink.writes) == 150
+        for write in sink.writes:
+            assert write.endswith("\n") and write.count("\n") == 1
+            assert write.startswith(("[distrib] ", "[worker 0] ", "[worker 1] "))
+
+    def test_embedded_worker_lines_are_labeled(self, jobs, serial_blobs, capfd):
+        runner = DistributedRunner(workers=1, heartbeat_interval=0.5,
+                                   poll_timeout=POLL_TIMEOUT)
+        try:
+            blobs = [pickle.dumps(s) for s in runner.run(jobs)]
+        finally:
+            runner.close()
+        assert blobs == serial_blobs
+        err = capfd.readouterr().err
+        joined = [line for line in err.splitlines() if "joined broker" in line]
+        assert joined and all(line.startswith("[worker 0] ") for line in joined)
+
+
 class TestBackendSelection:
     def test_auto_maps_jobs(self):
         assert make_runner(jobs=1).backend == "serial"

@@ -1,0 +1,78 @@
+"""Intra-repo markdown link validation (the CI ``docs-check`` lane).
+
+Every relative link and image in the tracked markdown pages —
+``docs/``, the README, ROADMAP and CHANGES — must point at a file or
+directory that exists in the checkout, and same-page anchors must match
+a real heading.  External URLs are out of scope (CI must pass offline).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [REPO_ROOT / name for name in ("README.md", "ROADMAP.md", "CHANGES.md")]
+    + list((REPO_ROOT / "docs").glob("**/*.md"))
+)
+
+# inline links/images: [text](target) / ![alt](target); reference-style
+# definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code spans: links inside code
+    samples are illustrative, not navigable."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def iter_links(path: pathlib.Path):
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for pattern in (_INLINE, _REFDEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def heading_anchors(path: pathlib.Path):
+    """GitHub-style anchors for every markdown heading in *path*."""
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        anchors.add(slug)
+    return anchors
+
+
+def test_doc_pages_exist():
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    assert (REPO_ROOT / "docs" / "internals-batch.md").exists()
+    assert (REPO_ROOT / "docs" / "running.md").exists()
+    assert DOC_FILES
+
+
+@pytest.mark.parametrize("path", DOC_FILES,
+                         ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES])
+def test_intra_repo_links_resolve(path):
+    broken = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                broken.append(target)
+                continue
+        else:
+            resolved = path  # pure anchor: same page
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved):
+                broken.append(target)
+    assert not broken, f"broken links in {path.name}: {broken}"
