@@ -110,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     wrk.add_argument("--authkey", default=None,
                      help="cluster auth secret (default: REPRO_DISTRIB_AUTHKEY "
                           "env or built-in)")
+    wrk.add_argument("--reconnects", type=int, default=5,
+                     help="consecutive failed reconnect attempts before "
+                          "giving the broker up for dead (default 5)")
 
     brk = sub.add_parser("broker", help="run a standalone sweep broker")
     brk.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
@@ -123,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
     brk.add_argument("--authkey", default=None,
                      help="cluster auth secret (default: REPRO_DISTRIB_AUTHKEY "
                           "env or built-in)")
+    brk.add_argument("--journal-dir", default=None, metavar="DIR",
+                     help="persist queue state here so a restarted broker "
+                          "resumes unfinished sweeps (restart with the same "
+                          "port and the same DIR)")
 
     ext = sub.add_parser("extensions", help="run the extension studies")
     ext.add_argument("studies", nargs="*", default=[], metavar="STUDY",
@@ -484,6 +491,7 @@ def _cmd_worker(args) -> int:
         cache_dir=args.cache_dir,
         heartbeat=args.heartbeat,
         authkey=args.authkey,
+        reconnects=args.reconnects,
     )
 
 
@@ -497,9 +505,13 @@ def _cmd_broker(args) -> int:
         authkey=authkey_from_env(args.authkey),
         heartbeat_timeout=args.heartbeat_timeout,
         max_retries=args.max_retries,
+        journal_dir=args.journal_dir,
     )
+    resumed = broker.sweep_count()
     print(f"broker listening on {format_address(broker.address)} "
-          f"(code {code_fingerprint()[:12]}…)", flush=True)
+          f"(code {code_fingerprint()[:12]}…)"
+          + (f", resumed {resumed} journaled sweep(s)" if resumed else ""),
+          flush=True)
     try:
         broker.serve_forever()
     except KeyboardInterrupt:

@@ -31,17 +31,21 @@ or, against a standing cluster::
 """
 
 from .broker import Broker
+from .journal import SweepJournal, load_journals
 from .progress import ProgressPrinter, ProgressSnapshot
-from .protocol import DistributedSweepError, JobFailure
+from .protocol import BrokerUnavailableError, DistributedSweepError, JobFailure
 from .runner import DistributedRunner
 from .worker import worker_main
 
 __all__ = [
     "Broker",
+    "BrokerUnavailableError",
     "DistributedRunner",
     "DistributedSweepError",
     "JobFailure",
     "ProgressPrinter",
     "ProgressSnapshot",
+    "SweepJournal",
+    "load_journals",
     "worker_main",
 ]

@@ -7,7 +7,10 @@ lists).  Design follows the classic batch-farming shape: the broker owns
 only queue state — jobs are pure functions of their descriptors, results
 flow straight back to the submitting driver, and the content-addressed
 :class:`~repro.runner.cache.ResultCache` (driver-side, optionally also
-worker-side on a shared filesystem) is the only persistence.
+worker-side on a shared filesystem) is the only result persistence.  The
+queue state itself can additionally be mirrored to an on-disk
+:class:`~repro.distrib.journal.SweepJournal` so a bounced broker resumes
+mid-sweep instead of starting from scratch.
 
 Fault model
 -----------
@@ -17,13 +20,42 @@ Fault model
   declares it dead after ``heartbeat_timeout`` and requeues the same way.
 * **Job raised** — counted like a worker loss for that chunk (the failure
   is usually deterministic, so the retry budget bounds the damage).
+* **Partitioned driver** — its connection EOFs without a ``bye``; the
+  sweep is *orphaned*, not abandoned: chunks keep dispatching and
+  settling, and when the driver reconnects and resubmits under the same
+  sweep id it receives everything that settled while it was away.
+* **Broker crash** — with a journal, unsettled jobs re-enter the queue at
+  the next startup and settled outcomes replay on driver reattach; see
+  :mod:`repro.distrib.journal`.
 
 A chunk that fails more than ``max_retries`` times is not retried again:
 every job still outstanding in it is surfaced to its driver as a
 structured :class:`~repro.distrib.protocol.JobFailure`.  A worker declared
-dead that later reports its result anyway is harmless — per-job delivery
-is idempotent (first result wins; a job's result is a pure function of the
-job, so "first" is also "only", byte for byte).
+dead that later reports its result anyway is harmless — per-job settlement
+is idempotent (first outcome wins; a job's result is a pure function of
+the job, so "first" is also "only", byte for byte).
+
+State machine
+-------------
+Every transition below runs under the broker lock; the threads (accept,
+per-peer receive, dispatch, monitor) only decide *when* a transition
+fires, never what it does — which is what lets the deterministic
+interleaving harness (:mod:`repro.distrib.chaos`) drive the identical
+transitions single-threaded.  ``docs/architecture.md`` draws the full
+peer/chunk/sweep diagram; the invariants the suite replays orderings
+against:
+
+* a worker id is never in ``_idle`` while it has an assignment — a
+  worker's result or error re-idles it *only* when the message's chunk id
+  matches its current assignment (a stale message for a previously
+  requeued or foreign chunk must neither free the worker nor discard its
+  live assignment);
+* every unsettled seq of a live sweep is reachable: it sits in a pending
+  chunk, an assigned chunk, or (post-crash) the journal;
+* settlement is keyed by the sweep's ``remaining`` set — first outcome
+  per job wins, duplicates are dropped, and the ``done`` signal is sent
+  atomically with the last outcome under the driver's send lock so it can
+  never overtake one.
 
 Determinism
 -----------
@@ -48,6 +80,7 @@ from multiprocessing.connection import (
 from typing import Dict, List, Optional, Tuple
 
 from ..runner.cache import code_fingerprint
+from .journal import SweepJournal, load_journals
 from .protocol import DEFAULT_AUTHKEY, chunk_jobs
 
 __all__ = ["Broker"]
@@ -76,30 +109,60 @@ class _Worker(_Peer):
 class _Driver(_Peer):
     def __init__(self, peer_id: int, conn: Connection, info: dict):
         super().__init__(peer_id, conn, info)
+        self.sweeps: set = set()  # sweep ids attached to this connection
+
+
+class _Sweep:
+    """One submitted job list, tracked independently of any connection.
+
+    A sweep outlives the TCP connection that submitted it: a partitioned
+    driver reattaches by resubmitting under the same sweep id (settled
+    outcomes it missed are replayed, in-flight jobs keep running), and
+    with a journal the sweep even outlives the broker process.
+    """
+
+    __slots__ = ("id", "driver_id", "total", "done", "retries", "finished",
+                 "remaining", "settled", "failures", "journal")
+
+    def __init__(self, sweep_id: str):
+        self.id = sweep_id
+        self.driver_id: Optional[int] = None  # attached driver, or orphaned
         self.total = 0
         self.done = 0
         self.retries = 0
-        self.finished = False  # "done" already sent
-        self.remaining: set = set()  # seqs not yet completed or failed
+        self.finished = False  # "done" sent to the currently attached conn
+        self.remaining: set = set()  # seqs with no terminal outcome yet
+        self.settled: Dict[int, tuple] = {}  # seq -> outcome, kept for reattach
         self.failures: List[tuple] = []  # (seq, attempts, reason)
+        self.journal: Optional[SweepJournal] = None
 
 
-def _record_done(driver: "_Driver", live: List[tuple]) -> None:
-    driver.done += len(live)
+def _split_outcomes(outcomes: List[tuple]) -> Tuple[List[tuple], List[tuple]]:
+    """Partition ``(seq, outcome)`` pairs into wire-shaped result/failed."""
+    results = [(seq, out[1]) for seq, out in outcomes if out[0] == "result"]
+    failed = [(seq, out[1], out[2]) for seq, out in outcomes
+              if out[0] == "failed"]
+    return results, failed
 
 
-def _record_failed(driver: "_Driver", live: List[tuple]) -> None:
-    driver.failures.extend(live)
+def _last_error_line(trace: Optional[str]) -> str:
+    """The last non-blank traceback line, or a placeholder.
+
+    A whitespace-only trace (e.g. ``"\\n"``) used to crash the receiver
+    thread with IndexError on ``splitlines()[-1]``.
+    """
+    lines = trace.strip().splitlines() if trace else []
+    return lines[-1] if lines else "job raised"
 
 
 class _Chunk:
-    """One dispatch unit: a slice of a driver's jobs plus its retry state."""
+    """One dispatch unit: a slice of a sweep's jobs plus its retry state."""
 
-    __slots__ = ("id", "driver_id", "entries", "failures", "last_error")
+    __slots__ = ("id", "sweep_id", "entries", "failures", "last_error")
 
-    def __init__(self, chunk_id: int, driver_id: int, entries: List[tuple]):
+    def __init__(self, chunk_id: int, sweep_id: str, entries: List[tuple]):
         self.id = chunk_id
-        self.driver_id = driver_id
+        self.sweep_id = sweep_id
         self.entries = entries  # [(seq, job), ...]
         self.failures = 0
         self.last_error: Optional[str] = None
@@ -127,6 +190,12 @@ class Broker:
     fingerprint:
         Code fingerprint to enforce on joining peers; defaults to this
         process's :func:`~repro.runner.cache.code_fingerprint`.
+    journal_dir:
+        Directory for per-sweep :class:`SweepJournal` files; ``None``
+        (default) keeps queue state in memory only.  With a journal, this
+        broker resumes every unconcluded sweep found at startup: unsettled
+        jobs re-enter the dispatch queue at once and settled outcomes are
+        replayed when their driver reattaches.
     """
 
     def __init__(
@@ -136,6 +205,7 @@ class Broker:
         heartbeat_timeout: float = 10.0,
         max_retries: int = 2,
         fingerprint: Optional[str] = None,
+        journal_dir: Optional[str] = None,
     ):
         # No authkey on the Listener: with one, accept() would run the HMAC
         # challenge inline in the accept loop, where a silent TCP peer (port
@@ -148,6 +218,7 @@ class Broker:
         self.heartbeat_timeout = heartbeat_timeout
         self.max_retries = max_retries
         self.fingerprint = fingerprint or code_fingerprint()
+        self.journal_dir = str(journal_dir) if journal_dir else None
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
@@ -155,11 +226,35 @@ class Broker:
         self._chunk_ids = itertools.count(1)
         self._workers: Dict[int, _Worker] = {}
         self._drivers: Dict[int, _Driver] = {}
+        self._sweeps: Dict[str, _Sweep] = {}
         self._idle: set = set()
         self._pending: deque = deque()
         self._assignments: Dict[int, _Chunk] = {}  # worker id -> chunk
         self._threads: List[threading.Thread] = []
         self._started = False
+        self._recover()
+
+    def _recover(self) -> None:
+        """Reload unconcluded sweeps from the journal directory (if any)."""
+        for rec in load_journals(self.journal_dir):
+            sweep = _Sweep(rec.sweep_id)
+            sweep.total = len(rec.entries)
+            sweep.settled = dict(rec.settled)
+            sweep.done = sum(1 for out in sweep.settled.values()
+                             if out[0] == "result")
+            sweep.failures = [(seq, out[1], out[2])
+                              for seq, out in sorted(sweep.settled.items())
+                              if out[0] == "failed"]
+            unsettled = rec.unsettled()
+            sweep.remaining = {seq for seq, _key, _job in unsettled}
+            sweep.journal = rec.reopen()
+            self._sweeps[sweep.id] = sweep
+            # back on the queue immediately: workers resume the sweep
+            # before its driver has even reconnected
+            self._pending.extend(
+                _Chunk(next(self._chunk_ids), sweep.id, chunk)
+                for chunk in chunk_jobs(unsettled, rec.workers_hint)
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -186,6 +281,11 @@ class Broker:
                 return
             self._closed = True
             peers = list(self._workers.values()) + list(self._drivers.values())
+            # journals of unconcluded sweeps stay on disk — they are what
+            # the next broker on this journal dir resumes from
+            for sweep in self._sweeps.values():
+                if sweep.journal is not None:
+                    sweep.journal.close()
             self._wake.notify_all()
         try:
             self._listener.close()
@@ -218,6 +318,10 @@ class Broker:
     def worker_count(self) -> int:
         with self._lock:
             return len(self._workers)
+
+    def sweep_count(self) -> int:
+        with self._lock:
+            return len(self._sweeps)
 
     def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
         deadline = time.monotonic() + timeout
@@ -338,13 +442,19 @@ class Broker:
                     message = worker.conn.recv()
                 except (EOFError, OSError):
                     break
+                except TypeError:
+                    # Connection.close() from another thread (broker
+                    # shutdown, monitor verdict) nulls the handle under a
+                    # blocked recv, which then raises TypeError rather
+                    # than OSError — same meaning: connection gone
+                    break
                 worker.last_seen = time.monotonic()
                 tag = message[0]
                 if tag == "heartbeat":
                     continue
                 if tag == "ready":
                     with self._wake:
-                        if worker.alive:
+                        if worker.alive and worker.id not in self._assignments:
                             self._idle.add(worker.id)
                             self._wake.notify_all()
                 elif tag == "result":
@@ -359,24 +469,38 @@ class Broker:
         with self._wake:
             chunk = self._assignments.get(worker.id)
             if chunk is not None and chunk.id == chunk_id:
+                # the worker finished the chunk it was actually assigned:
+                # settle the assignment and free it for the next dispatch
                 del self._assignments[worker.id]
-            else:
-                # late result from a worker we already declared dead for
-                # this chunk; results are pure so delivery stays idempotent
-                chunk = None
-            if worker.alive:
-                self._idle.add(worker.id)
-                self._wake.notify_all()
+                if worker.alive:
+                    self._idle.add(worker.id)
+                    self._wake.notify_all()
+            # else: a result for a chunk this worker does NOT hold — a late
+            # duplicate, or a reply from a worker already declared dead for
+            # it.  Deliver anyway (settlement is idempotent, first outcome
+            # wins) but do not touch the live assignment and do NOT mark
+            # the worker idle: re-idling a worker that still holds a chunk
+            # would let dispatch overwrite — and silently lose — that chunk.
         self._deliver(results)
 
     def _chunk_error(self, worker: _Worker, chunk_id: int, trace: str) -> None:
         with self._wake:
-            chunk = self._assignments.pop(worker.id, None)
-            if worker.alive:
-                self._idle.add(worker.id)
-                self._wake.notify_all()
-        if chunk is not None and chunk.id == chunk_id:
-            chunk.last_error = trace.strip().splitlines()[-1] if trace else "job raised"
+            chunk = self._assignments.get(worker.id)
+            if chunk is not None and chunk.id == chunk_id:
+                del self._assignments[worker.id]
+                if worker.alive:
+                    self._idle.add(worker.id)
+                    self._wake.notify_all()
+            else:
+                # stale error for a chunk this worker no longer (or never)
+                # holds — e.g. a duplicate error arriving after the chunk
+                # was already requeued.  Popping the assignment here used
+                # to discard the worker's *live* chunk: with no owner and
+                # no requeue, its jobs could never settle and the driver
+                # hung forever.  Leave the assignment alone.
+                chunk = None
+        if chunk is not None:
+            chunk.last_error = _last_error_line(trace)
             self._requeue(chunk)
 
     def _worker_lost(self, worker: _Worker) -> None:
@@ -401,152 +525,316 @@ class Broker:
     def _requeue(self, chunk: _Chunk) -> None:
         """Retry a failed chunk, or surface its jobs as permanent failures."""
         with self._lock:
-            driver = self._drivers.get(chunk.driver_id)
-            if driver is None:
+            sweep = self._sweeps.get(chunk.sweep_id)
+            if sweep is None:
                 return
             chunk.failures += 1
-            driver.retries += 1
-            chunk.entries = [e for e in chunk.entries if e[0] in driver.remaining]
+            sweep.retries += 1
+            chunk.entries = [e for e in chunk.entries
+                             if e[0] in sweep.remaining]
             if not chunk.entries:
                 return
         if chunk.failures <= self.max_retries:
             with self._wake:
                 self._pending.appendleft(chunk)  # retries jump the queue
                 self._wake.notify_all()
-            self._send_progress(driver)
+            self._progress_for(sweep)
             return
         reason = chunk.last_error or "unknown failure"
         # every recorded failure was one dispatch attempt
-        failed = [(seq, chunk.failures, reason) for seq, _job in chunk.entries]
-        self._fail_entries(driver, failed)
+        self._settle(sweep, [(seq, ("failed", chunk.failures, reason))
+                             for seq, _job in chunk.entries])
 
     def _monitor_loop(self) -> None:
         interval = max(0.2, min(self.heartbeat_timeout / 4.0, 2.0))
         while not self._closed:
             time.sleep(interval)
-            now = time.monotonic()
-            with self._lock:
-                stale = [
-                    w for w in self._workers.values()
-                    if now - w.last_seen > self.heartbeat_timeout
-                ]
-            for worker in stale:
-                # declare it dead *here* — a close() alone would not wake a
-                # receiver thread blocked in recv() on a silent-but-open
-                # socket, and the chunk must requeue now.  _worker_lost is
-                # idempotent, so the receiver thread's own exit (whenever
-                # the socket finally errors) is harmless, and a result the
-                # "dead" worker still manages to send is deduplicated at
-                # delivery (first result per job wins).
-                self._worker_lost(worker)
+            self._reap_stale(time.monotonic())
+
+    def _reap_stale(self, now: float) -> List[_Worker]:
+        """One monitor pass: declare silent workers dead, requeue chunks.
+
+        Extracted from the loop (and fed an explicit clock) so the
+        interleaving harness can fire monitor ticks at scripted instants.
+        """
+        with self._lock:
+            stale = [
+                w for w in self._workers.values()
+                if now - w.last_seen > self.heartbeat_timeout
+            ]
+        for worker in stale:
+            # declare it dead *here* — a close() alone would not wake a
+            # receiver thread blocked in recv() on a silent-but-open
+            # socket, and the chunk must requeue now.  _worker_lost is
+            # idempotent, so the receiver thread's own exit (whenever
+            # the socket finally errors) is harmless, and a result the
+            # "dead" worker still manages to send is deduplicated at
+            # settlement (first outcome per job wins).
+            self._worker_lost(worker)
+        return stale
 
     # ------------------------------------------------------------------
     # driver side
 
     def _driver_loop(self, driver: _Driver) -> None:
+        clean = False
         try:
             while not self._closed:
                 try:
                     message = driver.conn.recv()
                 except (EOFError, OSError):
                     break
+                except TypeError:
+                    break  # cross-thread close mid-recv; see _worker_loop
                 tag = message[0]
                 if tag == "submit":
-                    self._submit(driver, message[1])
+                    self._submit(driver, message[1], message[2])
                 elif tag == "bye":
+                    clean = True
                     break
         finally:
-            self._driver_lost(driver)
+            self._driver_lost(driver, clean=clean)
 
-    def _submit(self, driver: _Driver, entries: List[tuple]) -> None:
-        with self._wake:
-            hint = max(len(self._workers),
-                       int(driver.info.get("workers_hint") or 0), 1)
-            chunks = [
-                _Chunk(next(self._chunk_ids), driver.id, chunk)
-                for chunk in chunk_jobs(entries, hint)
-            ]
-            driver.total += len(entries)
-            driver.finished = False
-            driver.remaining.update(seq for seq, _key, _job in entries)
-            self._pending.extend(chunks)
-            self._wake.notify_all()
-        self._send_progress(driver)
-        if not entries:
-            self._complete_entries(driver, [])  # nothing to wait for
+    def _submit(self, driver: _Driver, sweep_id: str,
+                entries: List[tuple]) -> None:
+        """Attach *driver* to a sweep and queue whatever jobs are new.
 
-    def _driver_lost(self, driver: _Driver) -> None:
+        The same message serves first submission, reconnection after a
+        driver-side partition, and reattachment after a broker bounce:
+        seqs the sweep already settled are replayed immediately from
+        memory (or the journal's recovery of it), seqs still in flight
+        keep running, and only genuinely new seqs are chunked and queued.
+
+        Attach, replay, and (when nothing is left outstanding) the done
+        signal all happen under the driver's send lock: a worker thread
+        settling the last in-flight seq mid-resubmit must not slip its
+        "done" out ahead of the replayed outcomes.
+        """
+        finish = False
+        with driver.send_lock:
+            with self._wake:
+                if self._closed:
+                    return
+                sweep = self._sweeps.get(sweep_id)
+                if sweep is None:
+                    sweep = self._sweeps[sweep_id] = _Sweep(sweep_id)
+                    if self.journal_dir:
+                        sweep.journal = SweepJournal.create(self.journal_dir,
+                                                            sweep_id)
+                sweep.driver_id = driver.id
+                driver.sweeps.add(sweep_id)
+                # this connection has not received the sweep's "done",
+                # whatever a previous (partitioned) connection was sent
+                sweep.finished = False
+                fresh = [
+                    (seq, key, job) for seq, key, job in entries
+                    if seq not in sweep.remaining and seq not in sweep.settled
+                ]
+                replay = [(seq, sweep.settled[seq])
+                          for seq, _key, _job in entries
+                          if seq in sweep.settled]
+                if fresh:
+                    hint = max(len(self._workers),
+                               int(driver.info.get("workers_hint") or 0), 1)
+                    sweep.total += len(fresh)
+                    sweep.remaining.update(seq for seq, _key, _job in fresh)
+                    if sweep.journal is not None:
+                        sweep.journal.record_submit(fresh, hint)
+                    self._pending.extend(
+                        _Chunk(next(self._chunk_ids), sweep_id, chunk)
+                        for chunk in chunk_jobs(fresh, hint)
+                    )
+                    self._wake.notify_all()
+                finish = not sweep.remaining
+                if finish:
+                    sweep.finished = True
+                    stats = {
+                        "total": sweep.total,
+                        "done": sweep.done,
+                        "failed": len(sweep.failures),
+                        "retries": sweep.retries,
+                    }
+            results, failed = _split_outcomes(replay)
+            try:
+                if results:
+                    driver.conn.send(("result", results))
+                if failed:
+                    driver.conn.send(("failed", failed))
+                if finish:
+                    driver.conn.send(
+                        ("progress", self._progress_snapshot(driver)))
+                    driver.conn.send(("done", stats))
+            except (OSError, ValueError):
+                # the connection died mid-replay: whatever was undelivered
+                # (possibly the done signal) must survive for the next
+                # reattach, so the sweep may not count as finished
+                if finish:
+                    with self._lock:
+                        sweep.finished = False
+        if not finish:
+            self._send_progress(driver)
+
+    def _driver_lost(self, driver: _Driver, clean: bool = False) -> None:
+        """Detach a driver; conclude its finished sweeps, orphan the rest.
+
+        *clean* (an explicit ``bye``) abandons unfinished sweeps outright —
+        the driver walked away on purpose.  An unclean EOF (crash,
+        partition) leaves them orphaned and still executing, waiting for
+        the driver to reconnect and resubmit under the same sweep id.
+        """
         with self._wake:
-            self._drivers.pop(driver.id, None)
+            if not driver.alive:
+                return
             driver.alive = False
-            driver.remaining.clear()
-            # orphaned pending chunks are skipped at dispatch time
+            self._drivers.pop(driver.id, None)
+            for sweep_id in driver.sweeps:
+                sweep = self._sweeps.get(sweep_id)
+                if sweep is None or sweep.driver_id != driver.id:
+                    continue
+                sweep.driver_id = None
+                if clean or sweep.finished:
+                    if sweep.journal is not None:
+                        sweep.journal.conclude()
+                    del self._sweeps[sweep_id]
+                    # pending chunks of a dropped sweep are skipped at
+                    # dispatch time; assigned ones settle into nothing
+            driver.sweeps.clear()
         try:
             driver.conn.close()
         except OSError:
             pass
 
+    # ------------------------------------------------------------------
+    # settlement
+
     def _deliver(self, results: List[tuple]) -> None:
-        """Route completed ``(tagged seq, value)`` pairs to their drivers."""
-        by_driver: Dict[int, List[tuple]] = {}
-        for (driver_id, seq), value in results:
-            by_driver.setdefault(driver_id, []).append((seq, value))
-        for driver_id, pairs in by_driver.items():
+        """Route completed ``(tagged seq, value)`` pairs to their sweeps."""
+        by_sweep: Dict[str, List[tuple]] = {}
+        for (sweep_id, seq), value in results:
+            by_sweep.setdefault(sweep_id, []).append((seq, ("result", value)))
+        for sweep_id, outcomes in by_sweep.items():
             with self._lock:
-                driver = self._drivers.get(driver_id)
-            if driver is not None:
-                self._complete_entries(driver, pairs)
+                sweep = self._sweeps.get(sweep_id)
+            if sweep is not None:
+                self._settle(sweep, outcomes)
 
-    def _complete_entries(self, driver: _Driver, pairs: List[tuple]) -> None:
-        """Deliver ``(seq, value)`` results (and maybe the done signal)."""
-        self._conclude_entries(driver, "result", pairs, _record_done)
+    def _book(self, sweep: _Sweep, outcomes: List[tuple]) -> List[tuple]:
+        """Move outcomes to terminal state; caller holds the broker lock.
 
-    def _fail_entries(self, driver: _Driver, failed: List[tuple]) -> None:
-        """Surface ``(seq, attempts, reason)`` permanent failures."""
-        self._conclude_entries(driver, "failed", failed, _record_failed)
-
-    def _conclude_entries(self, driver: _Driver, tag: str,
-                          items: List[tuple], record) -> None:
-        """Settle jobs terminally and — atomically with that — signal done.
-
-        Every *item* leads with the job's seq; *record* books the live ones
-        onto the driver (done counter or failure list).  State update and
-        socket write happen together under the driver's send lock, so two
-        worker threads finishing simultaneously cannot interleave into
-        "done" overtaking an outcome still waiting to be written (the
-        driver stops reading at "done").  Duplicate outcomes (a worker
-        declared dead that answered anyway) are dropped here: settlement is
-        keyed by the ``remaining`` set, first outcome per job wins.
+        Settlement is keyed by ``remaining``: the first outcome per seq
+        wins, duplicates (a worker declared dead that answered anyway, a
+        redundant retry) are dropped here.  Returns the live subset.
         """
-        with driver.send_lock:
+        live = [(seq, out) for seq, out in outcomes if seq in sweep.remaining]
+        for seq, out in live:
+            sweep.remaining.discard(seq)
+            sweep.settled[seq] = out
+            if out[0] == "result":
+                sweep.done += 1
+            else:
+                sweep.failures.append((seq, out[1], out[2]))
+        if live and sweep.journal is not None:
+            # write-ahead: journal the outcome before the driver sees it
+            sweep.journal.record_settled(live)
+        return live
+
+    def _settle(self, sweep: _Sweep, outcomes: List[tuple]) -> None:
+        """Settle outcomes and — atomically with that — push them out.
+
+        *outcomes* is ``[(seq, outcome), …]``.  State update and socket
+        write happen together under the driver's send lock, so two worker
+        threads finishing simultaneously cannot interleave into "done"
+        overtaking an outcome still waiting to be written (the driver
+        stops reading at "done").  Orphaned sweeps settle state-only;
+        their outcomes wait in ``sweep.settled`` for the next reattach.
+        """
+        while True:
             with self._lock:
-                live = [item for item in items if item[0] in driver.remaining]
-                for item in live:
-                    driver.remaining.discard(item[0])
-                record(driver, live)
-                finish = (driver.alive and not driver.finished
-                          and not driver.remaining)
-                if finish:
-                    driver.finished = True
-                    stats = {
-                        "total": driver.total,
-                        "done": driver.done,
-                        "failed": len(driver.failures),
-                        "retries": driver.retries,
-                    }
-            try:
-                if live:
-                    driver.conn.send((tag, live))
-                if finish:
-                    driver.conn.send(("progress", self._progress_snapshot(driver)))
-                    driver.conn.send(("done", stats))
-            except (OSError, ValueError):
-                pass  # the driver's receive loop will notice and clean up
+                driver = (self._drivers.get(sweep.driver_id)
+                          if sweep.driver_id is not None else None)
+                if driver is None:
+                    self._book(sweep, outcomes)
+                    return
+            finish = False
+            with driver.send_lock:
+                with self._lock:
+                    current = (self._drivers.get(sweep.driver_id)
+                               if sweep.driver_id is not None else None)
+                    if current is not driver:
+                        continue  # reattached elsewhere: redo the lookup
+                    live = self._book(sweep, outcomes)
+                    finish = (driver.alive and not sweep.finished
+                              and not sweep.remaining)
+                    if finish:
+                        sweep.finished = True
+                        stats = {
+                            "total": sweep.total,
+                            "done": sweep.done,
+                            "failed": len(sweep.failures),
+                            "retries": sweep.retries,
+                        }
+                results, failed = _split_outcomes(live)
+                try:
+                    if results:
+                        driver.conn.send(("result", results))
+                    if failed:
+                        driver.conn.send(("failed", failed))
+                    if finish:
+                        driver.conn.send(
+                            ("progress", self._progress_snapshot(driver)))
+                        driver.conn.send(("done", stats))
+                except (OSError, ValueError):
+                    # dead connection: the outcomes are safely settled, but
+                    # an unfinished "finished" would make _driver_lost
+                    # conclude the sweep with deliveries still owed — keep
+                    # it reattachable instead
+                    if finish:
+                        with self._lock:
+                            sweep.finished = False
+            break
         if not finish:
             self._send_progress(driver)
 
     # ------------------------------------------------------------------
     # dispatch
+
+    def _dispatch_once(self) -> bool:
+        """Hand at most one pending chunk to an idle worker.
+
+        Returns True when a pending chunk was consumed (dispatched or
+        dropped as already settled/abandoned) — i.e. whether another call
+        might make progress.  The dispatch thread loops this; the
+        interleaving harness calls it directly, one scripted step at a
+        time.
+        """
+        with self._wake:
+            if self._closed or not self._pending or not self._idle:
+                return False
+            chunk = self._pending.popleft()
+            sweep = self._sweeps.get(chunk.sweep_id)
+            if sweep is None:
+                return True  # submitting sweep was abandoned
+            chunk.entries = [
+                e for e in chunk.entries if e[0] in sweep.remaining
+            ]
+            if not chunk.entries:
+                return True  # everything already settled elsewhere
+            worker_id = min(self._idle)
+            self._idle.discard(worker_id)
+            worker = self._workers[worker_id]
+            self._assignments[worker_id] = chunk
+            payload = (
+                "jobs",
+                chunk.id,
+                [((chunk.sweep_id, seq), job) for seq, job in chunk.entries],
+            )
+        try:
+            worker.send(payload)
+        except (OSError, ValueError):
+            self._worker_lost(worker)  # requeues the chunk
+            return True
+        self._progress_for(sweep)
+        return True
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -555,43 +843,26 @@ class Broker:
                     self._wake.wait(0.5)
                 if self._closed:
                     return
-                chunk = self._pending.popleft()
-                driver = self._drivers.get(chunk.driver_id)
-                if driver is None:
-                    continue  # submitting driver disconnected
-                chunk.entries = [
-                    e for e in chunk.entries if e[0] in driver.remaining
-                ]
-                if not chunk.entries:
-                    continue  # everything already delivered or failed
-                worker_id = min(self._idle)
-                self._idle.discard(worker_id)
-                worker = self._workers[worker_id]
-                self._assignments[worker_id] = chunk
-                payload = (
-                    "jobs",
-                    chunk.id,
-                    [((chunk.driver_id, seq), job) for seq, job in chunk.entries],
-                )
-            try:
-                worker.send(payload)
-            except (OSError, ValueError):
-                self._worker_lost(worker)  # requeues the chunk
-                continue
-            self._send_progress(driver)
+            self._dispatch_once()
 
     # ------------------------------------------------------------------
     # progress
 
     def _progress_snapshot(self, driver: _Driver) -> dict:
         with self._lock:
+            sweeps = [
+                self._sweeps[sid] for sid in driver.sweeps
+                if sid in self._sweeps
+                and self._sweeps[sid].driver_id == driver.id
+            ]
+            ids = {s.id for s in sweeps}
             running = sum(
                 len(c.entries) for c in self._assignments.values()
-                if c.driver_id == driver.id
+                if c.sweep_id in ids
             )
-            failed = len(driver.failures)
-            done = driver.done
-            total = driver.total
+            total = sum(s.total for s in sweeps)
+            done = sum(s.done for s in sweeps)
+            failed = sum(len(s.failures) for s in sweeps)
             return {
                 "total": total,
                 "done": done,
@@ -599,8 +870,15 @@ class Broker:
                 "running": running,
                 "queued": max(0, total - done - failed - running),
                 "workers": len(self._workers),
-                "retries": driver.retries,
+                "retries": sum(s.retries for s in sweeps),
             }
+
+    def _progress_for(self, sweep: _Sweep) -> None:
+        with self._lock:
+            driver = (self._drivers.get(sweep.driver_id)
+                      if sweep.driver_id is not None else None)
+        if driver is not None:
+            self._send_progress(driver)
 
     def _send_progress(self, driver: _Driver) -> None:
         if driver.alive:
@@ -623,5 +901,5 @@ class Broker:
             return (
                 f"Broker(address={self.address!r}, "
                 f"workers={len(self._workers)}, drivers={len(self._drivers)}, "
-                f"pending={len(self._pending)})"
+                f"sweeps={len(self._sweeps)}, pending={len(self._pending)})"
             )

@@ -1,0 +1,173 @@
+"""Broker-side sweep journal: queue state that survives a broker crash.
+
+The broker keeps no results — they flow straight to the submitting driver
+— so a broker that dies mid-sweep used to take the whole queue with it.
+The journal fixes that: every sweep a :class:`~repro.distrib.broker.Broker`
+accepts is mirrored to an append-only file under the journal directory
+(by default inside the result-cache dir), and a bounced broker
+(``python -m repro broker`` restarted on the same port with the same
+``--journal-dir``) reloads it on startup: still-unsettled jobs go back on
+the dispatch queue immediately — workers resume computing before the
+driver has even noticed the bounce — and already-settled outcomes are
+replayed to the driver the moment it reconnects and resubmits, instead of
+being recomputed.
+
+Format
+------
+One file per sweep, ``sweep-<id>.journal``, holding a sequence of pickled
+records, each written with a single buffered ``write()`` + ``flush()``:
+
+* ``("submit", [(seq, chunk_key, job), …], workers_hint)`` — jobs joined
+  the sweep (one record per driver submission);
+* ``("settled", [(seq, outcome), …])`` — jobs reached a terminal state,
+  where *outcome* is ``("result", value)`` or
+  ``("failed", attempts, reason)``.
+
+Settlements are journaled *before* the outcome is sent to the driver
+(write-ahead), so a crash between the two replays the outcome on
+reattach rather than losing it; a crash the other way round merely makes
+the driver not re-ask.  Because records are appended sequentially by a
+single writer, a SIGKILL can only tear the *tail* of the file —
+:func:`load_journals` stops at the first truncated or unreadable record
+and everything before it is intact.
+
+The journal is deleted when its sweep concludes (the driver received
+``done`` and detached), so the directory holds exactly the sweeps a
+bounced broker must resume.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SweepJournal", "RecoveredSweep", "load_journals"]
+
+_PREFIX = "sweep-"
+_SUFFIX = ".journal"
+
+
+class SweepJournal:
+    """Append-only on-disk record of one sweep's jobs and settlements.
+
+    Writers call :meth:`record_submit` / :meth:`record_settled` under the
+    broker lock (the broker is the only writer, so records never
+    interleave); any I/O error permanently disables the journal rather
+    than failing the sweep — persistence is best-effort, correctness of
+    the live sweep never depends on it.
+    """
+
+    def __init__(self, path: str, handle):
+        self.path = path
+        self._handle = handle
+
+    @classmethod
+    def create(cls, directory: str, sweep_id: str) -> "SweepJournal":
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{_PREFIX}{sweep_id}{_SUFFIX}")
+        return cls(path, open(path, "ab"))
+
+    def _append(self, record: tuple) -> None:
+        if self._handle is None:
+            return
+        try:
+            # one pickled blob per write(): a crash tears at most the tail
+            self._handle.write(pickle.dumps(record))
+            self._handle.flush()
+        except (OSError, ValueError, pickle.PicklingError):
+            self.close()
+
+    def record_submit(self, entries: List[tuple], workers_hint: int) -> None:
+        """Journal ``(seq, chunk_key, job)`` entries newly submitted."""
+        self._append(("submit", list(entries), int(workers_hint)))
+
+    def record_settled(self, outcomes: List[tuple]) -> None:
+        """Journal ``(seq, outcome)`` terminal states (write-ahead)."""
+        self._append(("settled", list(outcomes)))
+
+    def close(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def conclude(self) -> None:
+        """The sweep is fully delivered: drop the journal file."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+@dataclass
+class RecoveredSweep:
+    """One sweep reconstructed from its journal at broker startup."""
+
+    sweep_id: str
+    path: str
+    entries: List[tuple] = field(default_factory=list)  # (seq, key, job)
+    settled: Dict[int, tuple] = field(default_factory=dict)  # seq -> outcome
+    workers_hint: int = 1
+
+    def unsettled(self) -> List[tuple]:
+        return [e for e in self.entries if e[0] not in self.settled]
+
+    def reopen(self) -> SweepJournal:
+        """Reopen the journal for appending further settlements."""
+        return SweepJournal(self.path, open(self.path, "ab"))
+
+
+def load_journals(directory: str) -> List[RecoveredSweep]:
+    """Read every sweep journal under *directory*, tolerating torn tails."""
+    recovered: List[RecoveredSweep] = []
+    if not directory or not os.path.isdir(directory):
+        return recovered
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+            continue
+        path = os.path.join(directory, name)
+        sweep = RecoveredSweep(name[len(_PREFIX):-len(_SUFFIX)], path)
+        seen: set = set()
+        try:
+            handle = open(path, "rb")
+        except OSError:
+            continue
+        with handle:
+            while True:
+                record = _read_record(handle)
+                if record is None:
+                    break
+                if record[0] == "submit":
+                    for seq, key, job in record[1]:
+                        if seq not in seen:
+                            seen.add(seq)
+                            sweep.entries.append((seq, key, job))
+                    sweep.workers_hint = max(sweep.workers_hint,
+                                             int(record[2]))
+                elif record[0] == "settled":
+                    for seq, outcome in record[1]:
+                        sweep.settled.setdefault(seq, outcome)
+        if sweep.entries:
+            recovered.append(sweep)
+    return recovered
+
+
+def _read_record(handle) -> Optional[tuple]:
+    """Next pickled record, or None at EOF / the first torn record."""
+    try:
+        record = pickle.load(handle)
+    except EOFError:
+        return None
+    except Exception:
+        # truncated or corrupt tail (crash mid-write): stop here — every
+        # record before it was written whole
+        return None
+    if not (isinstance(record, tuple) and record
+            and record[0] in ("submit", "settled")):
+        return None
+    return record

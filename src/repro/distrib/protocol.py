@@ -10,7 +10,8 @@ direction    message                                                   why
 client→broker ``("hello", role, fingerprint, info)``                   join
 broker→client ``("welcome", client_id, broker_fingerprint)``           ack
 broker→client ``("reject", reason)``                                   refuse
-driver→broker ``("submit", [(seq, chunk_key, job), …])``               jobs in
+driver→broker ``("submit", sweep_id, [(seq, chunk_key, job), …])``     jobs in
+driver→broker ``("bye",)``                                             detach
 broker→worker ``("jobs", chunk_id, [(tag, job), …])``                  assign
 worker→broker ``("ready",)`` / ``("heartbeat",)``                      liveness
 worker→broker ``("result", chunk_id, [(tag, value), …])``              jobs out
@@ -20,6 +21,16 @@ broker→driver ``("failed", [(seq, attempts, reason), …])``             gave 
 broker→driver ``("progress", snapshot_dict)``                          live view
 broker→driver ``("done", stats_dict)``                                 sweep over
 ============ ========================================================= ====
+
+``sweep_id`` is a driver-chosen opaque string naming the sweep *across
+connections*: a driver that lost its TCP connection (broker bounce,
+partition) reconnects and resubmits its still-missing jobs under the same
+id, and the broker — which tracks sweeps independently of connections —
+replays outcomes that settled while the driver was away instead of
+recomputing them.  The job ``tag`` a worker echoes back is
+``(sweep_id, seq)``.  A ``bye`` is the clean goodbye: it tells the broker
+the driver is leaving *on purpose*, so unfinished sweeps are abandoned
+rather than kept waiting for a reattach.
 
 ``role`` is ``"worker"`` or ``"driver"``; both are rejected when their code
 fingerprint (:func:`repro.runner.cache.code_fingerprint`) differs from the
@@ -47,6 +58,7 @@ __all__ = [
     "DEFAULT_AUTHKEY",
     "PROTOCOL_VERSION",
     "JobFailure",
+    "BrokerUnavailableError",
     "DistributedSweepError",
     "authkey_from_env",
     "parse_address",
@@ -54,7 +66,7 @@ __all__ = [
     "chunk_jobs",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 # Shared secret for the connection-level HMAC handshake.  This
 # authenticates peers (a stray process cannot join the pool by accident);
@@ -96,6 +108,16 @@ class JobFailure:
 
     def __str__(self) -> str:
         return f"job #{self.seq} failed after {self.attempts} attempt(s): {self.reason}"
+
+
+class BrokerUnavailableError(RuntimeError):
+    """The driver exhausted its reconnect budget without reaching a broker.
+
+    Raised by :class:`~repro.distrib.runner.DistributedRunner` after
+    ``reconnect_attempts`` consecutive failed connection attempts.  Results
+    received before the outage were already persisted to the cache, so a
+    rerun against a recovered broker resumes from them.
+    """
 
 
 class DistributedSweepError(RuntimeError):

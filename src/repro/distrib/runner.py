@@ -33,6 +33,8 @@ import os
 import subprocess
 import sys
 import threading
+import time
+import uuid
 from multiprocessing.connection import Client
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO, Tuple
@@ -42,6 +44,7 @@ from ..runner.runner import ParallelRunner, _prepare_key
 from .broker import Broker
 from .progress import ProgressSnapshot
 from .protocol import (
+    BrokerUnavailableError,
     DistributedSweepError,
     JobFailure,
     authkey_from_env,
@@ -109,6 +112,18 @@ class DistributedRunner(ParallelRunner):
     poll_timeout:
         Driver-side watchdog: seconds without *any* broker message before
         giving up (``None`` waits forever).
+    reconnect_attempts / reconnect_delay:
+        Broker-outage tolerance: on a lost or refused connection the
+        driver retries up to *reconnect_attempts* consecutive times,
+        sleeping *reconnect_delay* seconds doubled per attempt (capped at
+        5s), resubmitting its still-missing jobs under the same sweep id
+        each time — against a journaled broker that means resuming, not
+        restarting.  The counter resets whenever a connection delivers.
+        Exhausting it raises :class:`BrokerUnavailableError`.
+    journal_dir:
+        Passed to the embedded broker so its queue survives the broker
+        object (mostly useful in tests; an *external* broker configures
+        its own journal via ``python -m repro broker --journal-dir``).
     """
 
     def __init__(
@@ -123,6 +138,9 @@ class DistributedRunner(ParallelRunner):
         heartbeat_timeout: Optional[float] = None,
         worker_cache_dir: Optional[str] = None,
         poll_timeout: Optional[float] = None,
+        reconnect_attempts: int = 8,
+        reconnect_delay: float = 0.5,
+        journal_dir: Optional[str] = None,
     ):
         super().__init__(jobs=max(1, int(workers)), cache=cache)
         self.workers = max(1, int(workers))
@@ -136,6 +154,9 @@ class DistributedRunner(ParallelRunner):
         )
         self.worker_cache_dir = worker_cache_dir
         self.poll_timeout = poll_timeout
+        self.reconnect_attempts = max(0, int(reconnect_attempts))
+        self.reconnect_delay = reconnect_delay
+        self.journal_dir = journal_dir
         self._authkey = authkey_from_env(authkey)
         self._external = parse_address(broker) if broker else None
         self._broker: Optional[Broker] = None
@@ -167,6 +188,7 @@ class DistributedRunner(ParallelRunner):
             authkey=self._authkey,
             heartbeat_timeout=self.heartbeat_timeout,
             max_retries=self.max_retries,
+            journal_dir=self.journal_dir,
         ).start()
         if not self._atexit_registered:
             atexit.register(self.close)
@@ -213,16 +235,28 @@ class DistributedRunner(ParallelRunner):
         if self._external is not None:
             return
         alive = sum(1 for p in self._procs if p.poll() is None)
-        for _ in range(max(0, self.workers - alive)):
-            self.spawn_worker()
-        if not self._broker.wait_for_workers(1, timeout=60.0):
-            exits = [p.poll() for p in self._procs]
-            raise RuntimeError(
-                f"no worker joined the embedded broker within 60s "
-                f"(spawned {len(self._procs)}, exit codes {exits}); check the "
-                f"workers' stderr — a fingerprint or authkey mismatch exits "
-                f"with a reason there"
-            )
+        spawned = [self.spawn_worker()
+                   for _ in range(max(0, self.workers - alive))]
+        # wait for the *full* complement, not just one: a worker that
+        # crashes on spawn must fail the run loudly, not silently run the
+        # sweep at a fraction of the requested parallelism
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if self._broker.worker_count() >= self.workers:
+                return
+            if any(p.poll() is not None for p in spawned):
+                break  # a fresh worker already exited: fail fast
+            time.sleep(0.05)
+        joined = self._broker.worker_count()
+        if joined >= self.workers:
+            return
+        exits = [p.poll() for p in self._procs]
+        raise RuntimeError(
+            f"only {joined} of {self.workers} workers joined the embedded "
+            f"broker (spawned {len(self._procs)}, exit codes {exits}); "
+            f"check the workers' stderr — a fingerprint or authkey "
+            f"mismatch exits with a reason there"
+        )
 
     def wait_for_workers(self, count: int, timeout: float = 30.0) -> bool:
         """Block until *count* workers joined the embedded broker."""
@@ -271,55 +305,107 @@ class DistributedRunner(ParallelRunner):
         Jobs that exhaust the broker's retry budget raise
         :class:`DistributedSweepError` *after* all completions were
         yielded (and therefore cached).
+
+        A broker outage mid-sweep (bounce, partition) is survived, not
+        fatal: the driver reconnects with exponential backoff and
+        resubmits its still-missing jobs under the same sweep id.  A
+        journaled broker replays outcomes that settled during the outage
+        and resumes the rest; a fresh broker simply recomputes.  Results
+        are deduplicated by seq, so a replay can never double-yield.
         """
         if not jobs:
             return
         self._ensure_cluster()
-        conn = Client(self.address, authkey=self._authkey)
+        sweep_id = uuid.uuid4().hex
+        remaining = {
+            seq: (_prepare_key(job), job) for seq, job in enumerate(jobs)
+        }
         failures: List[JobFailure] = []
-        try:
-            conn.send(("hello", "driver", code_fingerprint(),
-                       {"pid": os.getpid(), "workers_hint": self.workers}))
-            reply = conn.recv()
-            if reply[0] == "reject":
-                raise RuntimeError(f"broker rejected this driver: {reply[1]}")
-            entries = [
-                (seq, _prepare_key(job), job) for seq, job in enumerate(jobs)
-            ]
-            conn.send(("submit", entries))
-            while True:
-                if self.poll_timeout is not None and not conn.poll(self.poll_timeout):
-                    raise TimeoutError(
-                        f"no broker message for {self.poll_timeout}s "
-                        f"({format_address(self.address)})"
-                    )
-                message = conn.recv()
-                tag = message[0]
-                if tag == "result":
-                    for seq, value in message[1]:
-                        yield seq, value
-                elif tag == "failed":
-                    failures.extend(
-                        JobFailure(seq, attempts, reason)
-                        for seq, attempts, reason in message[1]
-                    )
-                elif tag == "progress":
-                    snapshot = ProgressSnapshot.from_dict(message[1])
-                    self.retries_observed = max(
-                        self.retries_observed, snapshot.retries
-                    )
-                    if self.progress is not None:
-                        self.progress(snapshot)
-                elif tag == "done":
-                    break
+        attempts = 0
+        done = False
+        while not done and remaining:
             try:
-                conn.send(("bye",))
-            except (OSError, ValueError):
-                pass
-        finally:
-            conn.close()
+                conn = Client(self.address, authkey=self._authkey)
+            except (OSError, EOFError) as exc:
+                attempts += 1
+                self._backoff(attempts, exc)
+                continue
+            try:
+                conn.send(("hello", "driver", code_fingerprint(),
+                           {"pid": os.getpid(),
+                            "workers_hint": self.workers}))
+                reply = conn.recv()
+                if reply[0] == "reject":
+                    raise RuntimeError(
+                        f"broker rejected this driver: {reply[1]}")
+                entries = [(seq, key, job)
+                           for seq, (key, job) in sorted(remaining.items())]
+                conn.send(("submit", sweep_id, entries))
+                while True:
+                    if (self.poll_timeout is not None
+                            and not conn.poll(self.poll_timeout)):
+                        raise TimeoutError(
+                            f"no broker message for {self.poll_timeout}s "
+                            f"({format_address(self.address)})"
+                        )
+                    message = conn.recv()
+                    tag = message[0]
+                    if tag == "result":
+                        for seq, value in message[1]:
+                            if seq in remaining:
+                                del remaining[seq]
+                                attempts = 0
+                                yield seq, value
+                    elif tag == "failed":
+                        for seq, tries, reason in message[1]:
+                            if seq in remaining:
+                                del remaining[seq]
+                                attempts = 0
+                                failures.append(
+                                    JobFailure(seq, tries, reason))
+                    elif tag == "progress":
+                        snapshot = ProgressSnapshot.from_dict(message[1])
+                        self.retries_observed = max(
+                            self.retries_observed, snapshot.retries
+                        )
+                        if self.progress is not None:
+                            self.progress(snapshot)
+                    elif tag == "done":
+                        if remaining:
+                            # a broker may only say "done" after every
+                            # submitted job's outcome went out; getting
+                            # one early means this connection is not to
+                            # be trusted — resubmit on a fresh one
+                            attempts += 1
+                            self._backoff(attempts, RuntimeError(
+                                f"broker signalled done with "
+                                f"{len(remaining)} outcome(s) missing"))
+                            break
+                        done = True
+                        break
+                if done:
+                    try:
+                        conn.send(("bye",))
+                    except (OSError, ValueError):
+                        pass
+            except (EOFError, ConnectionError, OSError) as exc:
+                attempts += 1
+                self._backoff(attempts, exc)
+            finally:
+                conn.close()
         if failures:
             raise DistributedSweepError(sorted(failures, key=lambda f: f.seq))
+
+    def _backoff(self, attempts: int, exc: Exception) -> None:
+        """Sleep before reconnect attempt *attempts*, or give up."""
+        if attempts > self.reconnect_attempts:
+            raise BrokerUnavailableError(
+                f"broker at {format_address(self.address)} unreachable "
+                f"after {self.reconnect_attempts} reconnect attempt(s); "
+                f"last error: {exc}"
+            ) from exc
+        delay = min(5.0, self.reconnect_delay * (2 ** (attempts - 1)))
+        time.sleep(delay)
 
     def __repr__(self) -> str:
         where = (

@@ -99,8 +99,24 @@ def worker_main(
     heartbeat: float = 2.0,
     authkey: Optional[str] = None,
     quiet: bool = False,
+    reconnects: int = 5,
 ) -> int:
-    """Run one worker until the broker goes away; returns an exit code."""
+    """Run one worker until the broker goes away for good; exit code.
+
+    A lost broker connection (bounce, partition, send failure mid-result)
+    is not fatal: the worker reconnects with exponential backoff, up to
+    *reconnects* consecutive failed attempts, and rejoins as a fresh peer
+    — workers are stateless, so the new identity costs nothing.  A result
+    in flight when the connection died is simply dropped; the broker's
+    fault handling requeues the chunk (or, after a bounce, re-dispatches
+    it from the journal), and purity makes the recomputed result
+    byte-identical.  The failure counter resets on every successful join,
+    so a broker that bounces daily never exhausts the budget.
+
+    Exit codes: ``0`` broker gone after the reconnect budget (or asked us
+    to shut down), ``2`` never managed a first connect, ``3`` rejected
+    (fingerprint mismatch).
+    """
     address: Tuple[str, int] = parse_address(connect)
     # embedded workers get an empty prefix: the driver's stderr relay
     # labels every line "[worker N]" itself (see DistributedRunner.
@@ -110,55 +126,95 @@ def worker_main(
         lambda *a: print(*((prefix,) if prefix else ()) + a,
                          file=sys.stderr, flush=True)
     )
-    try:
-        conn = Client(address, authkey=authkey_from_env(authkey))
-    except Exception as exc:
-        say(f"cannot connect to broker at {connect}: {exc}")
-        return 2
+    key = authkey_from_env(authkey)
     fingerprint = os.environ.get("REPRO_WORKER_FINGERPRINT") or code_fingerprint()
-    conn.send(("hello", "worker", fingerprint,
-               {"pid": os.getpid(), "host": socket.gethostname()}))
-    try:
-        reply = conn.recv()
-    except EOFError:
-        say("broker closed the connection during handshake")
-        return 2
-    if reply[0] == "reject":
-        say(f"rejected by broker at {connect}: {reply[1]}")
-        return 3
-    worker_id = reply[1]
-    say(f"joined broker at {connect} as worker {worker_id}")
-
-    send_lock = threading.Lock()
-    stop_beating = threading.Event()
-
-    def beat() -> None:
-        while not stop_beating.wait(heartbeat):
-            try:
-                with send_lock:
-                    conn.send(("heartbeat",))
-            except (OSError, ValueError):
-                return
-
-    threading.Thread(target=beat, daemon=True, name="repro-worker-beat").start()
-
     cache = ResultCache(cache_dir) if cache_dir else None
     die_after = int(os.environ.get("REPRO_WORKER_DIE_AFTER_CHUNKS", "0") or 0)
     freeze_after = int(os.environ.get("REPRO_WORKER_FREEZE_AFTER_CHUNKS", "0") or 0)
-    chunks_seen = 0
+    chunks_seen = 0  # injection counters span reconnects: the Nth chunk
+    # of this *process*, not of the current connection
 
-    with send_lock:
-        conn.send(("ready",))
+    joined_once = False
+    failures = 0
+    while True:
+        try:
+            conn = Client(address, authkey=key)
+            conn.send(("hello", "worker", fingerprint,
+                       {"pid": os.getpid(), "host": socket.gethostname()}))
+            reply = conn.recv()
+        except Exception as exc:
+            if not joined_once:
+                say(f"cannot connect to broker at {connect}: {exc}")
+                return 2
+            failures += 1
+            if failures > reconnects:
+                say(f"broker at {connect} still gone after {reconnects} "
+                    f"reconnect attempt(s); exiting")
+                return 0
+            delay = min(5.0, 0.25 * (2 ** (failures - 1)))
+            say(f"broker away ({type(exc).__name__}); "
+                f"reconnect {failures}/{reconnects} in {delay:.2g}s")
+            time.sleep(delay)
+            continue
+        if reply[0] == "reject":
+            say(f"rejected by broker at {connect}: {reply[1]}")
+            return 3
+        worker_id = reply[1]
+        joined_once = True
+        failures = 0
+        say(f"joined broker at {connect} as worker {worker_id}")
+
+        send_lock = threading.Lock()
+        stop_beating = threading.Event()
+
+        def beat(conn=conn, send_lock=send_lock, stop=stop_beating) -> None:
+            while not stop.wait(heartbeat):
+                try:
+                    with send_lock:
+                        conn.send(("heartbeat",))
+                except (OSError, ValueError):
+                    return
+
+        threading.Thread(target=beat, daemon=True,
+                         name="repro-worker-beat").start()
+        try:
+            chunks_seen, done = _serve_connection(
+                conn, send_lock, stop_beating, say, cache,
+                chunks_seen, die_after, freeze_after,
+            )
+        finally:
+            stop_beating.set()
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if done:
+            return 0
+        say("broker connection lost; attempting to reconnect")
+
+
+def _serve_connection(conn, send_lock, stop_beating, say, cache,
+                      chunks_seen, die_after, freeze_after):
+    """Pull and execute chunks until this connection dies.
+
+    Returns ``(chunks_seen, done)`` — *done* is True only for a clean
+    shutdown request; a dead connection returns False so the caller's
+    reconnect loop takes over.
+    """
+    try:
+        with send_lock:
+            conn.send(("ready",))
+    except (OSError, ValueError):
+        return chunks_seen, False
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
-            say("broker connection closed; exiting")
-            return 0
+            return chunks_seen, False
         tag = message[0]
         if tag == "shutdown":
             say("broker asked us to shut down")
-            return 0
+            return chunks_seen, True
         if tag != "jobs":
             continue
         _, chunk_id, entries = message
@@ -178,7 +234,7 @@ def worker_main(
                 with send_lock:
                     conn.send(("error", chunk_id, trace))
             except (OSError, ValueError):
-                return 1
+                return chunks_seen, False
         else:
             try:
                 with send_lock:
@@ -189,5 +245,6 @@ def worker_main(
                     conn.send(("heartbeat",))
                     conn.send(("result", chunk_id, results))
             except (OSError, ValueError):
-                say("broker went away while returning results")
-                return 1
+                say("broker went away while returning results; "
+                    "the chunk will be re-dispatched")
+                return chunks_seen, False

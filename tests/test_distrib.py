@@ -364,6 +364,31 @@ class TestFaultTolerance:
         finally:
             runner.close()
 
+    def test_partial_worker_join_fails_loudly(self, jobs):
+        """A worker that crashes on spawn must fail the run with a clear
+        partial-join error, not silently run at half the parallelism
+        (the old _ensure_cluster waited for 1 worker regardless of
+        how many were requested)."""
+
+        class OneBadSpawn(DistributedRunner):
+            sabotaged = False
+
+            def spawn_worker(self, extra_env=None):
+                if not OneBadSpawn.sabotaged:
+                    OneBadSpawn.sabotaged = True
+                    extra_env = dict(extra_env or {},
+                                     REPRO_WORKER_FINGERPRINT="bogus")
+                return super().spawn_worker(extra_env)
+
+        runner = OneBadSpawn(workers=2, heartbeat_interval=0.5,
+                             poll_timeout=POLL_TIMEOUT)
+        try:
+            with pytest.raises(RuntimeError,
+                               match=r"1 of 2 workers joined"):
+                runner.run(jobs)
+        finally:
+            runner.close()
+
     def test_exhausted_retries_surface_structured_failure(self, jobs):
         runner = DistributedRunner(workers=1, max_retries=0,
                                    heartbeat_interval=0.5,

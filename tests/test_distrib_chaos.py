@@ -1,0 +1,223 @@
+"""Chaos soak: real broker/worker processes under kill, freeze, and bounce.
+
+The interleaving suite (`test_distrib_interleave.py`) proves the broker's
+state machine correct one scripted ordering at a time; this file proves
+the *deployed* stack — subprocesses, TCP, SIGKILL — converges to the same
+bytes.  The headline scenario is the ISSUE's acceptance criterion: a
+broker SIGKILLed mid-sweep and restarted on the same port (same journal
+directory) must complete the sweep with output byte-identical to the
+serial backend, the driver riding out the outage through
+reconnect-with-backoff and the workers rejoining on their own.
+
+Scale is 0.01 by default; the CI ``chaos-soak`` lane raises it via
+``REPRO_CHAOS_SCALE=0.02`` for a longer mid-sweep window.
+"""
+
+import os
+import pickle
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.distrib import DistributedRunner
+from repro.experiments.config import ExperimentConfig
+from repro.runner import JobSpec, ParallelRunner
+
+POLL_TIMEOUT = 300.0
+SCALE = float(os.environ.get("REPRO_CHAOS_SCALE", "0.01"))
+SRC_ROOT = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(scale=SCALE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def jobs(cfg):
+    """Six independent conditions → six chunks: a real mid-sweep window."""
+    return [
+        JobSpec.from_config(cfg, scheme, "random", load)
+        for scheme in ("adaptive", "static")
+        for load in (0.3, 0.67, 0.9)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_blobs(jobs):
+    return [pickle.dumps(r) for r in ParallelRunner(jobs=1).run(jobs)]
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _await_port(port: int, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=1.0).close()
+            return
+        except OSError:
+            time.sleep(0.1)
+    raise TimeoutError(f"nothing listening on 127.0.0.1:{port}")
+
+
+def _spawn(*args: str, extra_env=None) -> subprocess.Popen:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = (
+        SRC_ROOT + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else SRC_ROOT
+    )
+    if extra_env:
+        env.update(extra_env)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _spawn_broker(port: int, journal_dir: str) -> subprocess.Popen:
+    proc = _spawn(
+        "broker", "--listen", f"127.0.0.1:{port}",
+        "--heartbeat-timeout", "5", "--journal-dir", journal_dir,
+    )
+    _await_port(port)
+    return proc
+
+
+def _spawn_worker(port: int, extra_env=None) -> subprocess.Popen:
+    return _spawn(
+        "worker", "--connect", f"127.0.0.1:{port}",
+        "--heartbeat", "0.5", "--reconnects", "40",
+        extra_env=extra_env,
+    )
+
+
+def _reap(*procs: subprocess.Popen) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+class TestBrokerBounce:
+    def test_sigkill_bounce_mid_sweep_is_byte_identical(
+        self, tmp_path, jobs, serial_blobs
+    ):
+        """SIGKILL the broker after the first result; restart on the same
+        port with the same journal; the sweep must finish byte-identical
+        to serial with no job outcome lost or duplicated."""
+        port = _free_port()
+        journal_dir = str(tmp_path / "journal")
+        state = {"broker": _spawn_broker(port, journal_dir), "bounced": False}
+        workers = [_spawn_worker(port) for _ in range(2)]
+
+        def maybe_bounce(snapshot):
+            # runs in the driver's receive loop: by the time the next
+            # recv() hits the dead socket, the replacement broker is
+            # already listening on the same port with the same journal
+            if snapshot.done >= 1 and not state["bounced"]:
+                state["bounced"] = True
+                state["broker"].send_signal(signal.SIGKILL)
+                state["broker"].wait(timeout=10)
+                state["broker"] = _spawn_broker(port, journal_dir)
+
+        runner = DistributedRunner(
+            broker=f"127.0.0.1:{port}",
+            progress=maybe_bounce,
+            poll_timeout=POLL_TIMEOUT,
+            reconnect_attempts=40,
+            reconnect_delay=0.25,
+        )
+        try:
+            results = runner.run(jobs)
+            assert state["bounced"], (
+                "the sweep finished before any bounce was injected — "
+                "the scenario did not exercise broker recovery"
+            )
+            assert [pickle.dumps(r) for r in results] == serial_blobs
+        finally:
+            _reap(state["broker"], *workers)
+
+    def test_bounce_plus_worker_kill_and_freeze(
+        self, tmp_path, jobs, serial_blobs
+    ):
+        """The full chaos schedule at once: one worker dies mid-job, one
+        freezes (stops heartbeating) mid-sweep, and the broker is
+        SIGKILL-bounced — output must still match serial exactly."""
+        port = _free_port()
+        journal_dir = str(tmp_path / "journal")
+        state = {"broker": _spawn_broker(port, journal_dir), "bounced": False}
+        workers = [
+            _spawn_worker(port, extra_env={
+                "REPRO_WORKER_DIE_AFTER_CHUNKS": "1"}),
+            _spawn_worker(port, extra_env={
+                "REPRO_WORKER_FREEZE_AFTER_CHUNKS": "2"}),
+            _spawn_worker(port),
+            _spawn_worker(port),
+        ]
+
+        def maybe_bounce(snapshot):
+            if snapshot.done >= 1 and not state["bounced"]:
+                state["bounced"] = True
+                state["broker"].send_signal(signal.SIGKILL)
+                state["broker"].wait(timeout=10)
+                state["broker"] = _spawn_broker(port, journal_dir)
+
+        runner = DistributedRunner(
+            broker=f"127.0.0.1:{port}",
+            progress=maybe_bounce,
+            poll_timeout=POLL_TIMEOUT,
+            reconnect_attempts=40,
+            reconnect_delay=0.25,
+        )
+        try:
+            results = runner.run(jobs)
+            assert state["bounced"]
+            assert workers[0].wait(timeout=60) == 86, "worker did not die"
+            assert [pickle.dumps(r) for r in results] == serial_blobs
+        finally:
+            _reap(state["broker"], *workers)
+
+
+class TestDriverReconnect:
+    def test_driver_survives_broker_coming_up_late(self, tmp_path, jobs,
+                                                   serial_blobs):
+        """The driver's backoff also covers the broker not being there
+        *yet*: start the sweep first, the cluster half a second later."""
+        port = _free_port()
+        journal_dir = str(tmp_path / "journal")
+        procs = []
+
+        def cluster_up():
+            time.sleep(0.5)
+            procs.append(_spawn_broker(port, journal_dir))
+            procs.extend(_spawn_worker(port) for _ in range(2))
+
+        starter = threading.Thread(target=cluster_up, daemon=True)
+        runner = DistributedRunner(
+            broker=f"127.0.0.1:{port}",
+            poll_timeout=POLL_TIMEOUT,
+            reconnect_attempts=40,
+            reconnect_delay=0.25,
+        )
+        starter.start()
+        try:
+            results = runner.run(jobs[:2])
+            assert [pickle.dumps(r) for r in results] == serial_blobs[:2]
+        finally:
+            starter.join(timeout=30)
+            _reap(*procs)
