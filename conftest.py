@@ -8,9 +8,22 @@
 * Adds the sweep-runner knobs ``--jobs`` / ``--no-cache`` /
   ``--cache-dir`` consumed by the ``bench_runner`` fixture in
   ``benchmarks/conftest.py`` (mirroring the ``repro-rlir`` CLI flags).
+* Registers the ``reprolint`` marker and the ``--reprolint`` flag: tests
+  marked ``reprolint`` (the full-tree invariant lint and the mypy gate
+  in ``tests/test_reprolint.py``) are skipped unless ``--reprolint`` is
+  passed, so ``pytest --reprolint`` is the local one-command lint lane
+  while plain ``pytest`` stays fast.  ``tools/`` is put on ``sys.path``
+  here so those tests can ``import reprolint`` without an env tweak.
 """
 
 import pathlib
+import sys
+
+# make `import reprolint` work for the linter's own test suite (the
+# package is pure-stdlib AST analysis; it never imports repro)
+_TOOLS_DIR = str(pathlib.Path(__file__).resolve().parent / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
 
 
 # mirrors repro.cli._positive_int — kept separate because conftest must not
@@ -33,6 +46,9 @@ def pytest_addoption(parser):
     group.addoption("--shards", type=_positive_int, default=1,
                     help="flow shards per condition for benches whose "
                          "studies support within-condition sharding")
+    group.addoption("--reprolint", action="store_true", default=False,
+                    help="also run the reprolint/mypy gate tests "
+                         "(marked 'reprolint', skipped by default)")
 
 
 def pytest_configure(config):
@@ -40,13 +56,22 @@ def pytest_configure(config):
         "markers",
         "slow: full-scale paper benchmark (deselect with -m 'not slow')",
     )
+    config.addinivalue_line(
+        "markers",
+        "reprolint: whole-tree lint/type gate (enable with --reprolint)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     import pytest
 
     root = pathlib.Path(str(config.rootpath))
+    run_lint = config.getoption("--reprolint")
+    skip_lint = pytest.mark.skip(
+        reason="lint gate runs only with --reprolint")
     for item in items:
+        if "reprolint" in item.keywords and not run_lint:
+            item.add_marker(skip_lint)
         try:
             rel = pathlib.Path(str(item.fspath)).relative_to(root)
         except ValueError:

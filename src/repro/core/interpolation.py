@@ -95,7 +95,7 @@ ESTIMATORS: dict = {
 }
 
 
-def interpolate_batch(
+def interpolate_batch(  # reprolint: disable=BATCH001 -- scalar twin is the InterpolationBuffer class (stated below), pinned bitwise-identical by the equivalence suite
     arrivals: np.ndarray,
     ref_arrivals: np.ndarray,
     ref_delays: np.ndarray,

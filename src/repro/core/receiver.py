@@ -354,8 +354,10 @@ class RliReceiver:
             return
 
         # --- per-stream interpolation; emission keyed by the closing event
+        # (sorted: the downstream lexsort is order-insensitive today, but
+        # set-iteration order must never be load-bearing — DET003)
         parts: List[tuple] = []
-        for stream in refs_by_stream.keys() | set(mstreams.tolist()):
+        for stream in sorted(refs_by_stream.keys() | set(mstreams.tolist())):
             sel = mstreams == stream
             rpos = mpos[sel]
             entry = refs_by_stream.get(stream)

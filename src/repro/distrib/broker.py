@@ -89,7 +89,7 @@ __all__ = ["Broker"]
 class _Peer:
     """Connection-level state shared by workers and drivers."""
 
-    def __init__(self, peer_id: int, conn: Connection, info: dict):
+    def __init__(self, peer_id: int, conn: Connection, info: dict) -> None:
         self.id = peer_id
         self.conn = conn
         self.info = info or {}
@@ -97,7 +97,7 @@ class _Peer:
         self.last_seen = time.monotonic()
         self.send_lock = threading.Lock()
 
-    def send(self, message) -> None:
+    def send(self, message: object) -> None:
         with self.send_lock:
             self.conn.send(message)
 
@@ -107,7 +107,7 @@ class _Worker(_Peer):
 
 
 class _Driver(_Peer):
-    def __init__(self, peer_id: int, conn: Connection, info: dict):
+    def __init__(self, peer_id: int, conn: Connection, info: dict) -> None:
         super().__init__(peer_id, conn, info)
         self.sweeps: set = set()  # sweep ids attached to this connection
 
@@ -124,7 +124,7 @@ class _Sweep:
     __slots__ = ("id", "driver_id", "total", "done", "retries", "finished",
                  "remaining", "settled", "failures", "journal")
 
-    def __init__(self, sweep_id: str):
+    def __init__(self, sweep_id: str) -> None:
         self.id = sweep_id
         self.driver_id: Optional[int] = None  # attached driver, or orphaned
         self.total = 0
@@ -160,7 +160,8 @@ class _Chunk:
 
     __slots__ = ("id", "sweep_id", "entries", "failures", "last_error")
 
-    def __init__(self, chunk_id: int, sweep_id: str, entries: List[tuple]):
+    def __init__(self, chunk_id: int, sweep_id: str,
+                 entries: List[tuple]) -> None:
         self.id = chunk_id
         self.sweep_id = sweep_id
         self.entries = entries  # [(seq, job), ...]
@@ -206,7 +207,7 @@ class Broker:
         max_retries: int = 2,
         fingerprint: Optional[str] = None,
         journal_dir: Optional[str] = None,
-    ):
+    ) -> None:
         # No authkey on the Listener: with one, accept() would run the HMAC
         # challenge inline in the accept loop, where a silent TCP peer (port
         # scanner, health check, half-open connection) would wedge admission
@@ -235,26 +236,32 @@ class Broker:
         self._recover()
 
     def _recover(self) -> None:
-        """Reload unconcluded sweeps from the journal directory (if any)."""
-        for rec in load_journals(self.journal_dir):
-            sweep = _Sweep(rec.sweep_id)
-            sweep.total = len(rec.entries)
-            sweep.settled = dict(rec.settled)
-            sweep.done = sum(1 for out in sweep.settled.values()
-                             if out[0] == "result")
-            sweep.failures = [(seq, out[1], out[2])
-                              for seq, out in sorted(sweep.settled.items())
-                              if out[0] == "failed"]
-            unsettled = rec.unsettled()
-            sweep.remaining = {seq for seq, _key, _job in unsettled}
-            sweep.journal = rec.reopen()
-            self._sweeps[sweep.id] = sweep
-            # back on the queue immediately: workers resume the sweep
-            # before its driver has even reconnected
-            self._pending.extend(
-                _Chunk(next(self._chunk_ids), sweep.id, chunk)
-                for chunk in chunk_jobs(unsettled, rec.workers_hint)
-            )
+        """Reload unconcluded sweeps from the journal directory (if any).
+
+        Runs from ``__init__`` before any thread exists, but takes the
+        lock anyway: it mutates guarded state, and holding the lock keeps
+        it safe if a future caller ever re-runs recovery on a live broker.
+        """
+        with self._lock:
+            for rec in load_journals(self.journal_dir):
+                sweep = _Sweep(rec.sweep_id)
+                sweep.total = len(rec.entries)
+                sweep.settled = dict(rec.settled)
+                sweep.done = sum(1 for out in sweep.settled.values()
+                                 if out[0] == "result")
+                sweep.failures = [(seq, out[1], out[2])
+                                  for seq, out in sorted(sweep.settled.items())
+                                  if out[0] == "failed"]
+                unsettled = rec.unsettled()
+                sweep.remaining = {seq for seq, _key, _job in unsettled}
+                sweep.journal = rec.reopen()
+                self._sweeps[sweep.id] = sweep
+                # back on the queue immediately: workers resume the sweep
+                # before its driver has even reconnected
+                self._pending.extend(
+                    _Chunk(next(self._chunk_ids), sweep.id, chunk)
+                    for chunk in chunk_jobs(unsettled, rec.workers_hint)
+                )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -300,7 +307,7 @@ class Broker:
     def __enter__(self) -> "Broker":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def serve_forever(self) -> None:
@@ -534,7 +541,11 @@ class Broker:
                              if e[0] in sweep.remaining]
             if not chunk.entries:
                 return
-        if chunk.failures <= self.max_retries:
+            # snapshot under the lock: `failures` also names guarded
+            # per-sweep state, so reads stay uniformly lock-covered even
+            # though this chunk is exclusively ours here
+            attempts = chunk.failures
+        if attempts <= self.max_retries:
             with self._wake:
                 self._pending.appendleft(chunk)  # retries jump the queue
                 self._wake.notify_all()
@@ -542,7 +553,7 @@ class Broker:
             return
         reason = chunk.last_error or "unknown failure"
         # every recorded failure was one dispatch attempt
-        self._settle(sweep, [(seq, ("failed", chunk.failures, reason))
+        self._settle(sweep, [(seq, ("failed", attempts, reason))
                              for seq, _job in chunk.entries])
 
     def _monitor_loop(self) -> None:
@@ -718,7 +729,7 @@ class Broker:
             if sweep is not None:
                 self._settle(sweep, outcomes)
 
-    def _book(self, sweep: _Sweep, outcomes: List[tuple]) -> List[tuple]:
+    def _book(self, sweep: _Sweep, outcomes: List[tuple]) -> List[tuple]:  # reprolint: holds=_lock
         """Move outcomes to terminal state; caller holds the broker lock.
 
         Settlement is keyed by ``remaining``: the first outcome per seq
@@ -890,7 +901,7 @@ class Broker:
         for driver in drivers:
             self._send_progress(driver)
 
-    def _safe_send(self, peer: _Peer, message) -> None:
+    def _safe_send(self, peer: _Peer, message: object) -> None:
         try:
             peer.send(message)
         except (OSError, ValueError):

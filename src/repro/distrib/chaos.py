@@ -23,9 +23,11 @@ delivery.  Any assertion failure is replayable from just the seed.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, cast
 
-from .broker import Broker, _Driver, _Worker
+from multiprocessing.connection import Connection
+
+from .broker import Broker, _Chunk, _Driver, _Worker
 
 __all__ = ["ScriptedConnection", "BrokerHarness", "run_random_schedule",
            "check_invariants"]
@@ -34,13 +36,13 @@ __all__ = ["ScriptedConnection", "BrokerHarness", "run_random_schedule",
 class ScriptedConnection:
     """A Connection stand-in that records sends and can be partitioned."""
 
-    def __init__(self, name: str = "scripted"):
+    def __init__(self, name: str = "scripted") -> None:
         self.name = name
         self.sent: List[tuple] = []
         self.closed = False
         self.partitioned = False
 
-    def send(self, message) -> None:
+    def send(self, message: object) -> None:
         if self.closed:
             raise OSError(f"{self.name}: connection closed")
         if self.partitioned:
@@ -67,7 +69,7 @@ class BrokerHarness:
     """
 
     def __init__(self, heartbeat_timeout: float = 10.0, max_retries: int = 2,
-                 journal_dir: Optional[str] = None):
+                 journal_dir: Optional[str] = None) -> None:
         self.broker = Broker(
             address=("127.0.0.1", 0),
             heartbeat_timeout=heartbeat_timeout,
@@ -79,10 +81,11 @@ class BrokerHarness:
 
     # -- peers ---------------------------------------------------------
 
-    def add_worker(self, ready: bool = True):
+    def add_worker(self, ready: bool = True) -> _Worker:
         """Join a worker (handshake already done) and optionally idle it."""
         peer_id = next(self.broker._ids)
-        worker = _Worker(peer_id, ScriptedConnection(f"worker-{peer_id}"), {})
+        conn = cast(Connection, ScriptedConnection(f"worker-{peer_id}"))
+        worker = _Worker(peer_id, conn, {})
         worker.last_seen = self.now
         with self.broker._wake:
             self.broker._workers[worker.id] = worker
@@ -90,53 +93,55 @@ class BrokerHarness:
                 self.broker._idle.add(worker.id)
         return worker
 
-    def add_driver(self, hint: int = 1):
+    def add_driver(self, hint: int = 1) -> _Driver:
         peer_id = next(self.broker._ids)
-        driver = _Driver(peer_id, ScriptedConnection(f"driver-{peer_id}"),
-                         {"workers_hint": hint})
+        conn = cast(Connection, ScriptedConnection(f"driver-{peer_id}"))
+        driver = _Driver(peer_id, conn, {"workers_hint": hint})
         with self.broker._lock:
             self.broker._drivers[driver.id] = driver
         return driver
 
     # -- driver-side transitions ---------------------------------------
 
-    def submit(self, driver, sweep_id: str, entries: List[tuple]) -> None:
+    def submit(self, driver: _Driver, sweep_id: str,
+               entries: List[tuple]) -> None:
         """A ``("submit", sweep_id, [(seq, key, job), …])`` message."""
         self.broker._submit(driver, sweep_id, entries)
 
-    def driver_bye(self, driver) -> None:
+    def driver_bye(self, driver: _Driver) -> None:
         self.broker._driver_lost(driver, clean=True)
 
-    def driver_eof(self, driver) -> None:
+    def driver_eof(self, driver: _Driver) -> None:
         """The driver's socket died without a ``bye`` (crash/partition)."""
         self.broker._driver_lost(driver, clean=False)
 
     # -- worker-side transitions ---------------------------------------
 
-    def worker_ready(self, worker) -> None:
+    def worker_ready(self, worker: _Worker) -> None:
         worker.last_seen = self.now
         with self.broker._wake:
             if worker.alive and worker.id not in self.broker._assignments:
                 self.broker._idle.add(worker.id)
 
-    def worker_result(self, worker, chunk_id: int,
+    def worker_result(self, worker: _Worker, chunk_id: int,
                       results: List[tuple]) -> None:
         worker.last_seen = self.now
         self.broker._complete_chunk(worker, chunk_id, results)
 
-    def worker_error(self, worker, chunk_id: int, trace: str) -> None:
+    def worker_error(self, worker: _Worker, chunk_id: int,
+                     trace: str) -> None:
         worker.last_seen = self.now
         self.broker._chunk_error(worker, chunk_id, trace)
 
-    def worker_eof(self, worker) -> None:
+    def worker_eof(self, worker: _Worker) -> None:
         self.broker._worker_lost(worker)
 
-    def heartbeat(self, worker) -> None:
+    def heartbeat(self, worker: _Worker) -> None:
         worker.last_seen = self.now
 
     # -- broker-side steps ---------------------------------------------
 
-    def dispatch(self):
+    def dispatch(self) -> Optional[Tuple[_Worker, _Chunk]]:
         """One dispatch step; the chunk assigned by it, if any."""
         before = dict(self.broker._assignments)
         if not self.broker._dispatch_once():
@@ -163,7 +168,7 @@ class BrokerHarness:
 
     # -- convenience ----------------------------------------------------
 
-    def assignment(self, worker):
+    def assignment(self, worker: _Worker) -> Optional[_Chunk]:
         return self.broker._assignments.get(worker.id)
 
     def idle(self) -> set:
@@ -172,30 +177,32 @@ class BrokerHarness:
     def pending(self) -> list:
         return list(self.broker._pending)
 
-    def finish_assignment(self, worker, compute: Callable) -> None:
+    def finish_assignment(self, worker: _Worker, compute: Callable) -> None:
         """Complete the worker's assigned chunk with computed results."""
         chunk = self.broker._assignments[worker.id]
         results = [((chunk.sweep_id, seq), compute(job))
                    for seq, job in chunk.entries]
         self.worker_result(worker, chunk.id, results)
 
-    def results_to(self, driver) -> Dict[int, object]:
+    def results_to(self, driver: _Driver) -> Dict[int, object]:
         """seq → value over every ``result`` message sent to *driver*."""
         received: Dict[int, object] = {}
-        for _tag, pairs in driver.conn.tagged("result"):
+        conn = cast(ScriptedConnection, driver.conn)
+        for _tag, pairs in conn.tagged("result"):
             for seq, value in pairs:
                 received[seq] = value
         return received
 
-    def failures_to(self, driver) -> Dict[int, tuple]:
+    def failures_to(self, driver: _Driver) -> Dict[int, tuple]:
         failed: Dict[int, tuple] = {}
-        for _tag, pairs in driver.conn.tagged("failed"):
+        conn = cast(ScriptedConnection, driver.conn)
+        for _tag, pairs in conn.tagged("failed"):
             for seq, attempts, reason in pairs:
                 failed[seq] = (attempts, reason)
         return failed
 
-    def done_count(self, driver) -> int:
-        return len(driver.conn.tagged("done"))
+    def done_count(self, driver: _Driver) -> int:
+        return len(cast(ScriptedConnection, driver.conn).tagged("done"))
 
     def close(self) -> None:
         self.broker.close()
@@ -273,7 +280,7 @@ def run_random_schedule(
     frozen: set = set()
     history: List[tuple] = []  # (worker, chunk) of every past assignment
 
-    def harvest():
+    def harvest() -> None:
         """Fold everything the driver connection received into the tally."""
         nonlocal received, failed
         new = harness.results_to(driver)
@@ -285,7 +292,7 @@ def run_random_schedule(
         received.update(new)
         failed.update(harness.failures_to(driver))
 
-    def reattach():
+    def reattach() -> None:
         """Reconnect the driver and resubmit what it has not received."""
         nonlocal driver
         harvest()
@@ -307,7 +314,9 @@ def run_random_schedule(
         elif op == 5 and assigned:
             trace = rng.choice(["Traceback\nValueError: boom", "\n", "", "x"])
             worker = rng.choice(assigned)
-            harness.worker_error(worker, harness.assignment(worker).id, trace)
+            chunk = harness.assignment(worker)
+            assert chunk is not None  # `assigned` filtered on exactly this
+            harness.worker_error(worker, chunk.id, trace)
         elif op == 6 and history:
             # stale duplicate: replay an old message for a past assignment
             worker, chunk = rng.choice(history)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import BinaryIO, Dict, List, Optional
 
 __all__ = ["SweepJournal", "RecoveredSweep", "load_journals"]
 
@@ -59,7 +59,7 @@ class SweepJournal:
     the live sweep never depends on it.
     """
 
-    def __init__(self, path: str, handle):
+    def __init__(self, path: str, handle: Optional[BinaryIO]) -> None:
         self.path = path
         self._handle = handle
 
@@ -157,7 +157,7 @@ def load_journals(directory: str) -> List[RecoveredSweep]:
     return recovered
 
 
-def _read_record(handle) -> Optional[tuple]:
+def _read_record(handle: BinaryIO) -> Optional[tuple]:
     """Next pickled record, or None at EOF / the first torn record."""
     try:
         record = pickle.load(handle)

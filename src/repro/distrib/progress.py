@@ -49,10 +49,11 @@ class ProgressSnapshot:
 class ProgressPrinter:
     """Callback printing each distinct snapshot as one stderr line."""
 
-    def __init__(self, stream: Optional[TextIO] = None, prefix: str = "[distrib] "):
+    def __init__(self, stream: Optional[TextIO] = None,
+                 prefix: str = "[distrib] ") -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.prefix = prefix
-        self._last = None
+        self._last: Optional[str] = None
 
     def __call__(self, snapshot: ProgressSnapshot) -> None:
         line = snapshot.format()

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "DEFAULT_AUTHKEY",
@@ -83,7 +83,7 @@ def authkey_from_env(explicit: Optional[str] = None) -> bytes:
     return env.encode() if env else DEFAULT_AUTHKEY
 
 
-def parse_address(spec) -> Tuple[str, int]:
+def parse_address(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
     """``"host:port"`` → ``(host, port)``; bare ``":port"`` binds localhost."""
     if isinstance(spec, tuple):
         host, port = spec
@@ -128,7 +128,7 @@ class DistributedSweepError(RuntimeError):
     retried sweep resumes from the survivors.
     """
 
-    def __init__(self, failures: Sequence[JobFailure]):
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
         self.failures = list(failures)
         lines = "\n  ".join(str(f) for f in self.failures)
         super().__init__(

@@ -37,7 +37,8 @@ import time
 import uuid
 from multiprocessing.connection import Client
 from pathlib import Path
-from typing import List, Optional, Sequence, TextIO, Tuple
+from typing import (Any, Callable, Iterator, List, Optional, Sequence,
+                    TextIO, Tuple)
 
 from ..runner.cache import ResultCache, code_fingerprint
 from ..runner.runner import ParallelRunner, _prepare_key
@@ -55,7 +56,8 @@ from .protocol import (
 __all__ = ["DistributedRunner"]
 
 
-def _relay_stderr(pipe, label: str, stream: Optional[TextIO] = None) -> None:
+def _relay_stderr(pipe: TextIO, label: str,
+                  stream: Optional[TextIO] = None) -> None:
     """Re-emit one worker's stderr line-atomically, each line labeled.
 
     Embedded workers used to inherit the driver's stderr fd directly, so a
@@ -131,7 +133,7 @@ class DistributedRunner(ParallelRunner):
         workers: int = 2,
         cache: Optional[ResultCache] = None,
         broker: Optional[str] = None,
-        progress=None,
+        progress: Optional[Callable[[ProgressSnapshot], None]] = None,
         authkey: Optional[str] = None,
         max_retries: int = 2,
         heartbeat_interval: float = 2.0,
@@ -141,7 +143,7 @@ class DistributedRunner(ParallelRunner):
         reconnect_attempts: int = 8,
         reconnect_delay: float = 0.5,
         journal_dir: Optional[str] = None,
-    ):
+    ) -> None:
         super().__init__(jobs=max(1, int(workers)), cache=cache)
         self.workers = max(1, int(workers))
         self.progress = progress
@@ -177,8 +179,14 @@ class DistributedRunner(ParallelRunner):
         """The broker address this runner talks to."""
         if self._external is not None:
             return self._external
+        return self._embedded_broker().address
+
+    def _embedded_broker(self) -> Broker:
+        """The embedded broker, created on first use (``broker=None``)."""
         self._ensure_broker()
-        return self._broker.address
+        broker = self._broker
+        assert broker is not None, "embedded broker requires broker=None"
+        return broker
 
     def _ensure_broker(self) -> None:
         if self._external is not None or self._broker is not None:
@@ -231,9 +239,9 @@ class DistributedRunner(ParallelRunner):
         return proc
 
     def _ensure_cluster(self) -> None:
-        self._ensure_broker()
         if self._external is not None:
             return
+        broker = self._embedded_broker()
         alive = sum(1 for p in self._procs if p.poll() is None)
         spawned = [self.spawn_worker()
                    for _ in range(max(0, self.workers - alive))]
@@ -242,12 +250,12 @@ class DistributedRunner(ParallelRunner):
         # sweep at a fraction of the requested parallelism
         deadline = time.monotonic() + 60.0
         while time.monotonic() < deadline:
-            if self._broker.worker_count() >= self.workers:
+            if broker.worker_count() >= self.workers:
                 return
             if any(p.poll() is not None for p in spawned):
                 break  # a fresh worker already exited: fail fast
             time.sleep(0.05)
-        joined = self._broker.worker_count()
+        joined = broker.worker_count()
         if joined >= self.workers:
             return
         exits = [p.poll() for p in self._procs]
@@ -265,8 +273,7 @@ class DistributedRunner(ParallelRunner):
                 "wait_for_workers needs the embedded broker; an external "
                 "broker tracks its own workers"
             )
-        self._ensure_broker()
-        return self._broker.wait_for_workers(count, timeout)
+        return self._embedded_broker().wait_for_workers(count, timeout)
 
     def close(self) -> None:
         """Tear the embedded cluster down (idempotent)."""
@@ -290,13 +297,13 @@ class DistributedRunner(ParallelRunner):
     def __enter__(self) -> "DistributedRunner":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # execution (the ParallelRunner hook)
 
-    def _iter_execute(self, jobs: Sequence):
+    def _iter_execute(self, jobs: Sequence) -> Iterator[Tuple[int, Any]]:
         """Yield ``(index, result)`` as the cluster completes jobs.
 
         Completion order is whatever the workers' race produces; the

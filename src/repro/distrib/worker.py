@@ -36,8 +36,8 @@ import sys
 import threading
 import time
 import traceback
-from multiprocessing.connection import Client
-from typing import List, Optional, Tuple
+from multiprocessing.connection import Client, Connection
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..runner.cache import ResultCache, code_fingerprint
 from .protocol import authkey_from_env, parse_address
@@ -64,8 +64,9 @@ def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> 
             if token is None:
                 still.append(i)
                 continue
-            keys[i] = cache.key(token())
-            hit, value = cache.get(keys[i])
+            cache_key = cache.key(token())
+            keys[i] = cache_key
+            hit, value = cache.get(cache_key)
             if hit:
                 values[i] = value
             else:
@@ -88,8 +89,9 @@ def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> 
                 values[i] = jobs[i].run()
         if cache is not None:
             for i in pending:
-                if keys[i] is not None:
-                    cache.put(keys[i], values[i])
+                cache_key = keys[i]
+                if cache_key is not None:
+                    cache.put(cache_key, values[i])
     return [(tag, value) for (tag, _job), value in zip(entries, values)]
 
 
@@ -122,7 +124,7 @@ def worker_main(
     # labels every line "[worker N]" itself (see DistributedRunner.
     # spawn_worker); standalone workers keep the default label
     prefix = os.environ.get("REPRO_WORKER_LOG_PREFIX", "[worker]")
-    say = (lambda *a: None) if quiet else (
+    say: Callable[..., None] = (lambda *a: None) if quiet else (
         lambda *a: print(*((prefix,) if prefix else ()) + a,
                          file=sys.stderr, flush=True)
     )
@@ -167,7 +169,8 @@ def worker_main(
         send_lock = threading.Lock()
         stop_beating = threading.Event()
 
-        def beat(conn=conn, send_lock=send_lock, stop=stop_beating) -> None:
+        def beat(conn: Connection = conn, send_lock: Any = send_lock,
+                 stop: threading.Event = stop_beating) -> None:
             while not stop.wait(heartbeat):
                 try:
                     with send_lock:
@@ -193,8 +196,11 @@ def worker_main(
         say("broker connection lost; attempting to reconnect")
 
 
-def _serve_connection(conn, send_lock, stop_beating, say, cache,
-                      chunks_seen, die_after, freeze_after):
+def _serve_connection(conn: Connection, send_lock: Any,
+                      stop_beating: threading.Event,
+                      say: Callable[..., None],
+                      cache: Optional[ResultCache], chunks_seen: int,
+                      die_after: int, freeze_after: int) -> Tuple[int, bool]:
     """Pull and execute chunks until this connection dies.
 
     Returns ``(chunks_seen, done)`` — *done* is True only for a clean

@@ -54,6 +54,22 @@ __all__ = [
     "MeshJob",
 ]
 
+# Fields deliberately absent from prepare_key (checked by reprolint
+# KEY002): prepare_key names the memoized *per-condition* simulation
+# artifact, which every flow shard of that condition shares — the shard
+# selector must NOT split the memo, or prewarming would rebuild one
+# simulation per shard and chunked replay could not batch shards.
+# cache_token still carries shard/n_shards, so cached *results* never
+# alias across shards.
+PREPARE_KEY_EXEMPT = {
+    "MultihopShardJob.shard": "replay selector over the shared event log",
+    "MultihopShardJob.n_shards": "replay partition count; log is shared",
+    "GranularityShardJob.shard": "replay selector over the shared event log",
+    "GranularityShardJob.n_shards": "replay partition count; log is shared",
+    "LocalizationShardJob.shard": "replay selector over the shared event log",
+    "LocalizationShardJob.n_shards": "replay partition count; log is shared",
+}
+
 
 # ----------------------------------------------------------------------
 # memoized per-condition simulation artifacts

@@ -9,7 +9,7 @@ local process pool otherwise.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from .cache import ResultCache
 from .runner import ParallelRunner
@@ -36,8 +36,8 @@ def make_runner(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     broker: Optional[str] = None,
-    progress=None,
-    **distrib_options,
+    progress: Optional[Any] = None,
+    **distrib_options: Any,
 ) -> ParallelRunner:
     """Build the sweep runner for *backend*.
 

@@ -29,7 +29,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 __all__ = ["ResultCache", "code_fingerprint", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
 
@@ -104,7 +104,8 @@ class ResultCache:
         change invalidating the cache.
     """
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR, fingerprint: Optional[str] = None):
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 fingerprint: Optional[str] = None) -> None:
         self.root = Path(root)
         self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
         self.hits = 0
@@ -176,11 +177,11 @@ class ResultCache:
             except OSError:
                 pass
 
-    def _entries(self):
+    def _entries(self) -> Iterator[Path]:
         """Paths of all persisted results (layout knowledge lives here)."""
         return self.root.glob("*/*.pkl") if self.root.is_dir() else iter(())
 
-    def _orphans(self):
+    def _orphans(self) -> Iterator[Path]:
         """``*.tmp`` droppings a hard-killed writer may have left behind."""
         return self.root.glob("*/*.tmp") if self.root.is_dir() else iter(())
 

@@ -26,7 +26,7 @@ skipped and each worker builds its own traces on first use.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
 from .spec import SweepSpec
@@ -34,18 +34,18 @@ from .spec import SweepSpec
 __all__ = ["ParallelRunner"]
 
 
-def _execute(job) -> Any:
+def _execute(job: Any) -> Any:
     """Top-level worker entry point (must be picklable)."""
     return job.run()
 
 
-def _execute_indexed(indexed_job) -> Any:
+def _execute_indexed(indexed_job: Tuple[int, Any]) -> Tuple[int, Any]:
     """Worker entry point carrying the job's index through the pool."""
     index, job = indexed_job
     return index, job.run()
 
 
-def _prepare_key(job) -> Any:
+def _prepare_key(job: Any) -> Any:
     """The identity of the shared artifact a job's prepare() would build.
 
     Jobs sharing an expensive artifact beyond their workload traces (e.g. a
@@ -105,7 +105,7 @@ class ParallelRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         mp_context: Optional[str] = None,
-    ):
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1: {jobs}")
         self.jobs = jobs
@@ -132,8 +132,9 @@ class ParallelRunner:
         pending: List[int] = []
         for i, job in enumerate(job_list):
             if self.cache is not None:
-                keys[i] = self.cache.key(job.cache_token())
-                hit, value = self.cache.get(keys[i])
+                key = self.cache.key(job.cache_token())
+                keys[i] = key
+                hit, value = self.cache.get(key)
                 if hit:
                     results[i] = value
                     self.cache_hits += 1
@@ -148,18 +149,19 @@ class ParallelRunner:
             for local_i, value in self._iter_execute(pending_jobs):
                 i = pending[local_i]
                 results[i] = value
-                if self.cache is not None:
-                    self.cache.put(keys[i], value)
+                key = keys[i]
+                if self.cache is not None and key is not None:
+                    self.cache.put(key, value)
                 self.executed += 1
         return results
 
-    def run_one(self, job) -> Any:
+    def run_one(self, job: Any) -> Any:
         """Convenience: run a single job through the same cache path."""
         return self.run([job])[0]
 
     # ------------------------------------------------------------------
 
-    def _iter_execute(self, jobs: Sequence):
+    def _iter_execute(self, jobs: Sequence) -> Iterator[Tuple[int, Any]]:
         """Yield ``(index, result)`` pairs as each job completes.
 
         Serial execution yields in job order; parallel execution yields in

@@ -16,7 +16,7 @@ the experiment drivers used to write by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 __all__ = ["JobSpec", "SweepSpec"]
 
@@ -26,14 +26,14 @@ ConfigItems = Tuple[Tuple[str, object], ...]
 _AXES = ("utilization", "scheme", "model", "estimator", "run_seed")
 
 
-def _freeze(value):
+def _freeze(value: object) -> object:
     """Tuples for lists so config items stay hashable."""
     if isinstance(value, list):
         return tuple(value)
     return value
 
 
-def config_items(cfg) -> ConfigItems:
+def config_items(cfg: Any) -> ConfigItems:
     """The full, ordered (name, value) state of an ExperimentConfig."""
     return tuple(sorted((k, _freeze(v)) for k, v in vars(cfg).items()))
 
@@ -68,7 +68,8 @@ class JobSpec:
     batch: bool = False
 
     @classmethod
-    def from_config(cls, cfg, scheme, model, target_util, **overrides) -> "JobSpec":
+    def from_config(cls, cfg: Any, scheme: Optional[str], model: str,
+                    target_util: float, **overrides: Any) -> "JobSpec":
         """Build a spec from a live ExperimentConfig plus condition axes."""
         return cls(
             config=config_items(cfg),
@@ -78,7 +79,7 @@ class JobSpec:
             **overrides,
         )
 
-    def experiment_config(self):
+    def experiment_config(self) -> Any:
         """Reconstruct the ExperimentConfig this job was frozen from."""
         from ..experiments.config import config_from_items
 
@@ -119,7 +120,7 @@ class JobSpec:
             workload.regular.packets
             workload.cross.packets
 
-    def run(self):
+    def run(self) -> Any:
         """Execute the condition; returns a picklable ConditionSummary."""
         from ..experiments.workloads import run_condition_job
 
@@ -147,10 +148,10 @@ class SweepSpec:
     batch: bool = False
 
     @classmethod
-    def from_config(cls, cfg, **axes) -> "SweepSpec":
+    def from_config(cls, cfg: Any, **axes: Any) -> "SweepSpec":
         return cls(config=config_items(cfg), **axes)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if sorted(self.axis_order) != sorted(_AXES):
             raise ValueError(
                 f"axis_order must be a permutation of {_AXES}: {self.axis_order}"

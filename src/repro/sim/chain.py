@@ -469,7 +469,7 @@ class SwitchChain:
         queue._free_at = fa
         stats = queue.stats
         dropped = len(drop_idx) + ref_dropped
-        bytes_in = (int(size_m.sum()) if total_m else 0) + ref_bytes_in
+        bytes_in = (int(size_m.sum()) if total_m else 0) + ref_bytes_in  # reprolint: disable=BATCH003 -- int64 byte counter; integer addition is exact in any order
         arrivals = total_m + ref_arrivals
         stats.arrivals += arrivals
         stats.bytes_in += bytes_in

@@ -724,7 +724,7 @@ class FatTreeFastPath:
         queue._free_at = fa
         stats = queue.stats
         dropped = len(drop_idx) + ref_dropped
-        bytes_in = (int(stream.size.sum()) if n_in else 0) + ref_bytes_in
+        bytes_in = (int(stream.size.sum()) if n_in else 0) + ref_bytes_in  # reprolint: disable=BATCH003 -- int64 byte counter; integer addition is exact in any order
         arrivals = n_in + ref_arrivals
         stats.arrivals += arrivals
         stats.bytes_in += bytes_in

@@ -446,7 +446,7 @@ class TwoSwitchPipeline:
         queue1._free_at = fa
         stats = queue1.stats
         dropped = len(drop_idx) + ref_dropped
-        bytes_in = (int(reg.size.sum()) if n else 0) + ref_bytes_in
+        bytes_in = (int(reg.size.sum()) if n else 0) + ref_bytes_in  # reprolint: disable=BATCH003 -- int64 byte counter; integer addition is exact in any order
         arrivals = n + ref_arrivals
         stats.arrivals += arrivals
         stats.bytes_in += bytes_in

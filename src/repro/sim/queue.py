@@ -259,7 +259,7 @@ class FifoQueue:
             ~np.isnan(departures) if dropped else np.ones(n, dtype=bool)
         )
         acc_dep = departures[accepted_mask] if dropped else departures
-        bytes_in = int(sizes.sum()) if n else 0
+        bytes_in = int(sizes.sum()) if n else 0  # reprolint: disable=BATCH003 -- int64 byte counter; integer addition is exact in any order
         stats = self.stats
         stats.arrivals += n
         stats.bytes_in += bytes_in

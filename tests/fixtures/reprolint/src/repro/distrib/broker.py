@@ -1,0 +1,48 @@
+"""Bad fixture for the LOCK rules (path mirrors distrib/broker.py).
+
+Never imported — scanned by tests/test_reprolint.py only.  A miniature
+broker shape exercising every lock-discipline rule.
+"""
+
+import threading
+
+
+class Broker:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._workers = {}          # ok: constructor is pre-sharing
+        self._pending = []
+
+    def good_path(self, driver, outcomes):
+        with self._lock:
+            self._pending.append(outcomes)      # ok: lock held
+            self._book(driver, outcomes)        # ok: holds= satisfied
+        with self._wake:
+            self._workers.clear()               # ok: _wake wraps _lock
+        with driver.send_lock:
+            driver.conn.send(("done",))         # ok: send lock held
+
+    def bad_collection(self, worker):
+        self._workers[worker.id] = worker       # LOCK001
+
+    def bad_value_state(self, sweep):
+        sweep.remaining.discard(1)              # LOCK002
+
+    def _book(self, driver, outcomes):  # reprolint: holds=_lock
+        driver.sweeps.add(outcomes[0])
+        driver.journal.record_settled(outcomes)
+
+    def bad_holds_call(self, driver, outcomes):
+        self._book(driver, outcomes)            # LOCK003
+
+    def bad_send(self, driver):
+        driver.conn.send(("progress", 1))       # LOCK004
+
+    def bad_journal(self, sweep, live):
+        with self._lock:
+            pass
+        sweep.journal.record_settled(live)      # LOCK002 + LOCK004
+
+    def suppressed_probe(self):
+        return len(self._pending)  # reprolint: disable=LOCK001 -- diagnostic snapshot; torn size is acceptable

@@ -1,0 +1,64 @@
+"""Bad fixture for the KEY rules (path mirrors runner/spec.py).
+
+Never imported — scanned by tests/test_reprolint.py only.
+"""
+
+from dataclasses import dataclass
+
+CACHE_KEY_EXEMPT = {
+    "LeakyJob.label": "display name only; never reaches the simulation",
+}
+
+PREPARE_KEY_EXEMPT = {
+    "ShardyJob.shard": "replay selector over the shared artifact",
+}
+
+
+@dataclass(frozen=True)
+class LeakyJob:
+    """`run_seed` changes results but is missing from the token: KEY001.
+
+    `label` is missing too, but the allowlist above exempts it.
+    """
+
+    config: tuple
+    run_seed: int
+    label: str
+
+    def cache_token(self) -> dict:
+        return {"kind": "leaky", "config": self.config}
+
+
+@dataclass(frozen=True)
+class ShardyJob:
+    """`batch` missing from prepare_key: KEY002 (shard is exempt)."""
+
+    n_packets: int
+    shard: int
+    batch: bool
+
+    @property
+    def prepare_key(self) -> tuple:
+        return ("shardy", self.n_packets)
+
+    def cache_token(self) -> dict:
+        return {
+            "kind": "shardy",
+            "n_packets": self.n_packets,
+            "shard": self.shard,
+            "batch": self.batch,
+        }
+
+
+@dataclass(frozen=True)
+class CompleteJob:
+    """Every field reaches the token via a helper: no findings."""
+
+    alpha: int
+    beta: float
+
+    def _parts(self) -> dict:
+        return {"alpha": self.alpha, "beta": self.beta}
+
+    def cache_token(self) -> dict:
+        return {"kind": "complete", **self._parts()}

@@ -1,0 +1,41 @@
+"""Bad fixture for BATCH001/BATCH003 (path mirrors repro/sim/).
+
+Never imported — scanned by tests/test_reprolint.py only.
+"""
+
+import numpy as np
+
+
+class Orphan:
+    def frobnicate_batch(self, xs):             # BATCH001: no frobnicate()
+        return xs
+
+
+def resample_batch(xs):                         # BATCH001: no resample()
+    return xs
+
+
+class Paired:
+    def observe(self, x):
+        return x
+
+    def observe_batch(self, xs):                # ok: sibling observe()
+        return xs
+
+    def append(self, x):
+        return x
+
+    def extend_batch(self, xs):                 # ok: mapped sibling append()
+        return xs
+
+    def _scan_batch(self, xs):                  # ok: private helper
+        return xs
+
+
+def bad_reductions(values, deltas):
+    total = np.sum(values)                      # BATCH003
+    running = deltas.cumsum()                   # BATCH003
+    exact = np.add.reduce(values)               # ok: sequential order
+    steps = np.add.accumulate(deltas)           # ok: sequential order
+    counted = values.sum()  # reprolint: disable=BATCH003 -- int64 counters in this fixture
+    return total, running, exact, steps, counted

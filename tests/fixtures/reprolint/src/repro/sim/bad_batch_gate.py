@@ -1,0 +1,9 @@
+"""Bad fixture for BATCH002 (path mirrors repro/sim/).
+
+Calls a collaborator's fast path but never consults the capability
+flag, so there is no object-path fallback.  Never imported.
+"""
+
+
+def run(receiver, columns):
+    return receiver.observe_batch(columns)      # BATCH002: ungated

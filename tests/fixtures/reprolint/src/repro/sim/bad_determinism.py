@@ -1,0 +1,46 @@
+"""Bad fixture: every DET rule must fire on this file.
+
+Never imported — scanned by tests/test_reprolint.py only.  The path
+mirrors src/repro/sim/ so the determinism scope matches.
+"""
+
+import os
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock_seed():
+    started = time.time()                     # DET001
+    stamp = datetime.now()                    # DET001
+    entropy = os.urandom(8)                   # DET001
+    return started, stamp, entropy
+
+
+def global_rng():
+    jitter = random.random()                  # DET002
+    random.shuffle([1, 2, 3])                 # DET002
+    noise = np.random.rand(4)                 # DET002
+    return jitter, noise
+
+
+def seeded_rng_is_fine(seed):
+    rng = random.Random(seed)                 # ok: explicit instance
+    gen = np.random.default_rng(seed)         # ok: seeded generator
+    return rng.random(), gen.random()
+
+
+def set_iteration(flows, extra):
+    out = []
+    for flow in set(flows) | {extra}:         # DET003
+        out.append(flow)
+    both = [f for f in flows.keys() & set(extra)]   # DET003
+    ordered = [f for f in sorted(set(flows))]       # ok: sorted
+    suppressed = list(x for x in set(flows))  # reprolint: disable=DET003 -- order feeds an order-insensitive sum
+    return out, both, ordered, suppressed
+
+
+def unjustified(flows):
+    return [x for x in set(flows)]  # reprolint: disable=DET003

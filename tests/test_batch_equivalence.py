@@ -463,3 +463,113 @@ class TestBatchJobs:
             assert a.label == b.label
             assert a.summary == b.summary
             assert a.summary_row() == b.summary_row()
+
+# ----------------------------------------------------------------------
+# multi-stream receiver batch partition
+
+
+class TestMultiStreamBatchEmission:
+    """Regression for the receiver's multi-stream batch partition.
+
+    The per-stream loop in ``observe_batch`` unions
+    ``refs_by_stream.keys()`` with the set of regular streams; iteration
+    over that union is ``sorted`` so set-iteration order can never
+    become load-bearing (reprolint DET003).  This pins the batch path
+    against the scalar reference on a stream mix chosen to disagree
+    with any convenient ordering: stream ids first appear in
+    *descending* order, one stream has regulars but no references
+    (stays unestimated forever), and one has references but no
+    regulars (both union sides contribute streams the other lacks).
+    """
+
+    PREFIXES = [
+        (Prefix.parse("10.9.0.0/16"), 9),
+        (Prefix.parse("10.4.0.0/16"), 4),
+        (Prefix.parse("10.2.0.0/16"), 2),
+        (Prefix.parse("10.7.0.0/16"), 7),   # references only
+    ]
+
+    def _events(self):
+        """Fresh ``(now, packet)`` observations in arrival order."""
+        dst = ip_to_int("10.200.0.1")
+
+        def reg(stream, host, now, sport):
+            p = Packet(src=ip_to_int(f"10.{stream}.0.{host}"), dst=dst,
+                       sport=sport, dport=9, size=200, ts=now - 0.0004)
+            return now, p
+
+        def ref(sender, now, delay):
+            p = Packet(src=ip_to_int(f"10.{sender}.0.250"), dst=dst,
+                       size=64, ts=now - delay, kind=PacketKind.REFERENCE,
+                       sender_id=sender, ref_timestamp=now - delay)
+            return now, p
+
+        return [
+            reg(9, 1, 0.001, 1111),
+            ref(9, 0.002, 0.00030),
+            reg(4, 1, 0.003, 2222),
+            reg(9, 2, 0.004, 1112),
+            ref(4, 0.005, 0.00040),
+            reg(2, 1, 0.006, 3333),         # stream 2: never estimated
+            ref(7, 0.007, 0.00020),         # stream 7: references only
+            ref(9, 0.008, 0.00035),
+            reg(4, 2, 0.009, 2223),
+            reg(2, 2, 0.010, 3334),
+            ref(4, 0.011, 0.00045),
+            reg(9, 1, 0.012, 1111),         # past stream 9's last reference
+            reg(4, 1, 0.013, 2222),         # past stream 4's last reference
+        ]
+
+    def _receiver(self):
+        from repro.core.demux import UpstreamPrefixDemux
+
+        return RliReceiver(UpstreamPrefixDemux(self.PREFIXES),
+                           collect_estimates=True)
+
+    def _drive_scalar(self):
+        rx = self._receiver()
+        for now, pkt in self._events():
+            if pkt.is_regular:
+                pkt.tap_time = pkt.ts   # matches batch taps=None semantics
+            rx.observe(pkt, now)
+        rx.finalize()
+        return rx
+
+    def _drive_batch(self):
+        from repro.traffic.batch import PacketBatch
+
+        rx = self._receiver()
+        assert rx.batch_capable
+        events = self._events()
+        times = np.array([now for now, _ in events], dtype=np.float64)
+        kinds = np.array([int(p.kind) for _, p in events], dtype=np.int64)
+        regulars = [p for _, p in events if p.is_regular]
+        refs = [p for _, p in events if p.is_reference]
+        header_index = np.full(len(events), -1, dtype=np.int64)
+        row = 0
+        for i, (_, p) in enumerate(events):
+            if p.is_regular:
+                header_index[i] = row
+                row += 1
+        rx.observe_batch(times, kinds, PacketBatch.from_packets(regulars),
+                         header_index, None, refs)
+        rx.finalize()   # documented no-op after the one-shot batch
+        return rx
+
+    def test_state_and_emission_identical(self):
+        scalar = self._drive_scalar()
+        batch = self._drive_batch()
+        assert receiver_state(scalar) == receiver_state(batch)
+        assert len(scalar.estimates) == len(batch.estimates) > 0
+        for a, b in zip(scalar.estimates, batch.estimates):
+            assert (a.key, a.arrival, a.estimated, a.true_delay) == \
+                (b.key, b.arrival, b.estimated, b.true_delay)
+
+    def test_exercises_both_union_sides(self):
+        batch = self._drive_batch()
+        # stream 2 (regulars, no refs) must stay unestimated; stream 7
+        # (refs, no regulars) must still be counted as accepted
+        assert batch.unestimated > 0
+        assert batch.references_accepted == 5
+        streams = {k for k, _ in receiver_state(batch)["estimated"]}
+        assert streams   # streams 9 and 4 produced estimates

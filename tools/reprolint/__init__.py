@@ -1,0 +1,27 @@
+"""reprolint — repo-specific static analysis for reproduction invariants.
+
+The byte-identical-output guarantee of this reproduction rests on a
+handful of invariants that used to be enforced only by one-off audits:
+no wall-clock or global-RNG calls in simulation code, cache keys that
+cover every result-affecting job field, broker state touched only under
+its lock, and batch fast paths that mirror the object path bit for bit.
+``reprolint`` turns those audits into a permanent AST-level check.
+
+Usage::
+
+    PYTHONPATH=tools python -m reprolint src tools
+
+or from tests::
+
+    from reprolint import run_paths
+    findings, n_files = run_paths(["src", "tools"])
+
+See ``docs/invariants.md`` for the rule catalogue and the suppression
+syntax (``# reprolint: disable=RULE -- justification``).
+"""
+
+from .engine import Finding, FileContext, Rule, run_paths, lint_file
+from .rules import ALL_RULES
+
+__all__ = ["Finding", "FileContext", "Rule", "run_paths", "lint_file",
+           "ALL_RULES"]

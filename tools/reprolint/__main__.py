@@ -1,0 +1,59 @@
+"""CLI: ``PYTHONPATH=tools python -m reprolint [paths...]``.
+
+Exit status 0 when the tree is clean, 1 when any finding is reported,
+2 on usage errors.  ``--list-rules`` prints the rule catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .engine import run_paths
+from .rules import ALL_RULES, RULES_BY_ID
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="repo-specific invariant linter "
+                    "(see docs/invariants.md)")
+    parser.add_argument("paths", nargs="*", default=["src", "tools"],
+                        help="files or directories to lint "
+                             "(default: src tools)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  [{rule.severity}]  {rule.description}")
+        return 0
+
+    rules = ALL_RULES
+    if args.select:
+        wanted = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in RULES_BY_ID]
+        if unknown:
+            print(f"reprolint: unknown rule ids: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [RULES_BY_ID[r] for r in wanted]
+
+    findings, n_files = run_paths(args.paths or ["src", "tools"], rules)
+    for finding in findings:
+        print(finding.format())
+    noun = "file" if n_files == 1 else "files"
+    if findings:
+        print(f"reprolint: {len(findings)} finding(s) in {n_files} {noun}")
+        return 1
+    print(f"reprolint: clean ({n_files} {noun})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Repo-specific configuration for the reprolint rule families.
+
+Scopes are posix-path *fragments* matched by substring, so the same
+rules fire both on the real tree (``src/repro/sim/...``) and on the
+checked-in bad fixtures under ``tests/fixtures/reprolint/src/repro/...``
+that keep the rules honest.
+"""
+
+from __future__ import annotations
+
+# -- determinism (DET) --------------------------------------------------
+
+# Simulation, estimation, traffic, and experiment-driver code must be a
+# pure function of (config, seeds).  Runner/distrib code may consult the
+# wall clock for timeouts and heartbeats; these paths may not.
+DETERMINISM_SCOPE = (
+    "repro/sim/",
+    "repro/core/",
+    "repro/traffic/",
+    "repro/experiments/",
+)
+
+# Banned call targets, matched against the last two dotted components of
+# the callee (so `self.clock.now()` does not false-positive on
+# `datetime.now`).  Wall clocks and OS entropy both make output depend
+# on when/where the run happened.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "os.urandom", "os.getrandbits", "uuid.uuid1", "uuid.uuid4",
+})
+
+# `random.X(...)` / `np.random.X(...)` calls hit interpreter-global RNG
+# state, which parallel/sharded execution orders differently run to run.
+# Constructing an explicitly seeded generator is the sanctioned idiom.
+RANDOM_MODULE_ALLOWED = frozenset({"Random"})
+NP_RANDOM_ALLOWED = frozenset({
+    "default_rng", "Generator", "RandomState", "SeedSequence", "PCG64",
+})
+
+# -- cache keys (KEY) ---------------------------------------------------
+
+CACHEKEY_SCOPE = (
+    "runner/spec.py",
+    "experiments/extension_jobs.py",
+)
+
+# Module-level allowlist names a job module may define to exempt fields:
+#   CACHE_KEY_EXEMPT = {"ClassName.field": "why it cannot change results"}
+#   PREPARE_KEY_EXEMPT = {"ClassName.field": "why the prepared artifact
+#                          is shared across values of this field"}
+CACHE_EXEMPT_NAME = "CACHE_KEY_EXEMPT"
+PREPARE_EXEMPT_NAME = "PREPARE_KEY_EXEMPT"
+
+# -- lock discipline (LOCK) ---------------------------------------------
+
+LOCK_SCOPE = ("distrib/broker.py",)
+
+# Broker attributes guarded by `self._lock` (PR 6's hand audit, now
+# mechanical).  `_wake` is a Condition built on `_lock`, so holding
+# either name holds the same lock.
+BROKER_LOCK_NAMES = frozenset({"_lock", "_wake"})
+BROKER_GUARDED_SELF = frozenset({
+    "_workers", "_drivers", "_sweeps", "_idle", "_pending", "_assignments",
+})
+# Attributes of the _Sweep/_Driver value objects that the same lock
+# guards.  (Worker liveness fields — `alive`, `last_seen` — are
+# deliberately absent: they are monotonic flags with benign races,
+# documented in broker.py.)
+BROKER_GUARDED_VALUE = frozenset({
+    "remaining", "settled", "finished", "driver_id", "journal",
+    "total", "done", "retries", "failures", "sweeps",
+})
+SEND_LOCK_NAME = "send_lock"
+
+# -- batch parity (BATCH) -----------------------------------------------
+
+BATCH_SCOPE = ("repro/sim/", "repro/core/")
+
+# Public `*_batch` entry points whose object-path sibling does not follow
+# the `strip _batch` naming convention.
+BATCH_SIBLING_MAP = {
+    "extend_batch": "append",     # columnar bulk append vs scalar append
+    "classify_batch": "__call__", # vectorized classifier vs callable
+}
+
+# `*_batch` names that are not fast-path entry points at all.
+BATCH_EXEMPT_NAMES = frozenset({
+    "from_batch", "to_batch", "has_batch",
+})
+
+# Float reductions whose operation order differs from the sequential
+# object path (np.sum is pairwise; see docs/internals-batch.md).  The
+# sanctioned spellings are np.add.reduce / np.add.accumulate.
+BANNED_REDUCERS = frozenset({"sum", "nansum", "cumsum", "prod", "cumprod",
+                             "dot", "matmul", "einsum"})
+NUMPY_NAMES = frozenset({"np", "numpy"})
+
+# Only sim-layer modules orchestrate foreign batch objects; they must
+# gate on `batch_capable` before calling another object's `*_batch`.
+BATCH_GATE_SCOPE = ("repro/sim/",)

@@ -1,0 +1,221 @@
+"""The reprolint engine: file walking, suppressions, and the rule API.
+
+A *rule* is a plain object with an ``id``, a ``severity``, a one-line
+``description``, and a ``check(ctx)`` callable that yields
+``(line, message)`` pairs for one parsed file.  The engine handles
+everything else: discovering ``.py`` files, parsing them once into a
+:class:`FileContext`, applying inline suppressions, and aggregating
+:class:`Finding` objects.
+
+Suppression grammar (same line as the finding)::
+
+    x = arr.sum()  # reprolint: disable=BATCH003 -- int64 counters, exact
+
+The justification after ``--`` is mandatory; a ``disable`` without one
+is itself reported (META001) so suppressions stay auditable.  A second
+annotation form marks a function as running with a lock already held::
+
+    def _book(self, sweep, seq, outcome):  # reprolint: holds=_lock
+
+which the lock-discipline rules treat as "body is lock-held, and every
+call site must itself hold the lock".
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["Finding", "FileContext", "Rule", "lint_file", "run_paths"]
+
+SEVERITIES = ("error", "warning")
+
+_ANNOTATION_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|holds)\s*=\s*([A-Za-z0-9_,\s]+?)"
+    r"\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific file and line."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.severity}: " \
+               f"{self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single named check run against every in-scope file."""
+
+    id: str
+    severity: str
+    description: str
+    check: Callable[["FileContext"], Iterable[Tuple[int, str]]]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: str                      # path as given on the command line
+    posix_path: str                # normalized, forward slashes
+    source: str
+    tree: ast.Module
+    # line -> {rule_id: justification} for `disable=` annotations
+    suppressions: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    # line -> lock names for `holds=` annotations
+    holds: Dict[int, List[str]] = field(default_factory=dict)
+    # META findings produced while parsing annotations
+    meta_findings: List[Finding] = field(default_factory=list)
+
+    def in_scope(self, fragments: Sequence[str]) -> bool:
+        """True if any posix path *fragment* occurs in this file's path."""
+        return any(f in self.posix_path for f in fragments)
+
+    def holds_for_def(self, func: ast.AST) -> List[str]:
+        """Lock names from a ``holds=`` annotation on *func*'s signature.
+
+        The comment may sit on any line of the (possibly multi-line)
+        ``def`` signature, i.e. between ``func.lineno`` and the first
+        body statement.
+        """
+        body = getattr(func, "body", None)
+        last = body[0].lineno if body else getattr(func, "lineno", 0) + 1
+        locks: List[str] = []
+        for line in range(func.lineno, last + 1):
+            locks.extend(self.holds.get(line, ()))
+        return locks
+
+
+def _parse_annotations(path: str, source: str) -> Tuple[
+        Dict[int, Dict[str, str]], Dict[int, List[str]], List[Finding]]:
+    """Extract ``disable=``/``holds=`` comments via the token stream."""
+    suppressions: Dict[int, Dict[str, str]] = {}
+    holds: Dict[int, List[str]] = {}
+    meta: List[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressions, holds, meta
+    for tok in comments:
+        match = _ANNOTATION_RE.search(tok.string)
+        if match is None:
+            if "reprolint:" in tok.string:
+                meta.append(Finding(
+                    "META001", "error", path, tok.start[0],
+                    f"unparseable reprolint annotation: {tok.string!r}"))
+            continue
+        kind, names_raw, justification = match.groups()
+        names = [n.strip() for n in names_raw.split(",") if n.strip()]
+        line = tok.start[0]
+        if kind == "holds":
+            holds.setdefault(line, []).extend(names)
+            continue
+        if not justification:
+            meta.append(Finding(
+                "META001", "error", path, line,
+                "suppression without a justification — write "
+                "'# reprolint: disable=RULE -- why this is safe'"))
+            continue
+        for name in names:
+            suppressions.setdefault(line, {})[name] = justification
+    return suppressions, holds, meta
+
+
+def lint_file(path: str, rules: Sequence[Rule],
+              source: "str | None" = None) -> List[Finding]:
+    """Run *rules* over one file, honouring inline suppressions."""
+    path = os.fspath(path)
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    posix = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("META002", "error", path, exc.lineno or 1,
+                        f"file does not parse: {exc.msg}")]
+    suppressions, holds, meta = _parse_annotations(path, source)
+    ctx = FileContext(path=path, posix_path=posix, source=source,
+                      tree=tree, suppressions=suppressions, holds=holds,
+                      meta_findings=meta)
+    findings: List[Finding] = list(meta)
+    for rule in rules:
+        for line, message in rule.check(ctx):
+            if rule.id in suppressions.get(line, {}):
+                continue
+            findings.append(Finding(rule.id, rule.severity, path, line,
+                                    message))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under *paths* in sorted order."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs
+                             if not d.startswith(".") and d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def run_paths(paths: Sequence[str],
+              rules: "Sequence[Rule] | None" = None
+              ) -> Tuple[List[Finding], int]:
+    """Lint every python file under *paths*; (findings, files scanned)."""
+    if rules is None:
+        from .rules import ALL_RULES
+        rules = ALL_RULES
+    findings: List[Finding] = []
+    n_files = 0
+    for file_path in iter_python_files(paths):
+        n_files += 1
+        findings.extend(lint_file(file_path, rules))
+    return findings, n_files
+
+
+# -- shared AST helpers used by more than one rule module ---------------
+
+def dotted_chain(node: ast.AST) -> Tuple[str, ...]:
+    """The dotted-name components of an attribute chain, outermost last.
+
+    ``time.time`` -> ("time", "time"); ``self.clock.now`` ->
+    ("self", "clock", "now"); anything non-name-rooted contributes "?"
+    for its root so callers can still match trailing components.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("?")
+    return tuple(reversed(parts))
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/async-function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

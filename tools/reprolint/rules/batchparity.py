@@ -1,0 +1,128 @@
+"""BATCH rules: the columnar fast path must mirror the object path.
+
+The repo's contract (docs/internals-batch.md): every batch entry point
+has an object-path sibling producing bitwise-identical results, callers
+gate on ``batch_capable`` with a fallback, and batch kernels perform
+float operations in the exact order of the sequential path — which
+bans reassociating numpy reductions like ``np.sum`` (pairwise) where
+the object path accumulated left-to-right.
+
+BATCH001  public `*_batch` method/function without an object-path
+          sibling (same class/module; see BATCH_SIBLING_MAP for
+          non-obvious pairs)
+BATCH002  sim module calls a foreign `*_batch` method but never
+          consults `batch_capable` — no fallback gate
+BATCH003  float-reassociating reduction (np.sum / .sum() / np.dot /
+          cumsum / prod / einsum) in batch-kernel scope; spell it
+          np.add.reduce / np.add.accumulate, or suppress with a
+          justification when the dtype makes it exact (integers)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from ..engine import FileContext, Rule, dotted_chain
+from .. import config
+
+Findings = Iterator[Tuple[int, str]]
+
+
+def _check_siblings(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.BATCH_SCOPE):
+        return
+    module_defs = {n.name for n in ctx.tree.body
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))}
+    containers = [("module", ctx.tree, module_defs)]
+    for node in ctx.tree.body:
+        if isinstance(node, ast.ClassDef):
+            names = {m.name for m in node.body
+                     if isinstance(m, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))}
+            containers.append((f"class {node.name}", node, names))
+    for where, container, names in containers:
+        for member in container.body:
+            if not isinstance(member, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            name = member.name
+            if (not name.endswith("_batch") or name.startswith("_")
+                    or name in config.BATCH_EXEMPT_NAMES):
+                continue
+            sibling = config.BATCH_SIBLING_MAP.get(
+                name, name[: -len("_batch")])
+            if sibling not in names:
+                yield member.lineno, (
+                    f"{where}: public fast path {name}() has no "
+                    f"object-path sibling {sibling}() — every batch "
+                    f"entry point needs a bitwise-identical scalar "
+                    f"twin (see docs/internals-batch.md)"
+                )
+
+
+def _check_gate(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.BATCH_GATE_SCOPE):
+        return
+    gated = any(
+        (isinstance(node, ast.Attribute) and node.attr == "batch_capable")
+        or (isinstance(node, ast.Name) and node.id == "batch_capable")
+        # getattr(obj, "batch_capable", False)-style duck-typed gates
+        or (isinstance(node, ast.Constant) and node.value == "batch_capable")
+        for node in ast.walk(ctx.tree)
+    )
+    if gated:
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        name = node.func.attr
+        if (not name.endswith("_batch") or name.startswith("_")
+                or name in config.BATCH_EXEMPT_NAMES):
+            continue
+        if (isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("self", "cls")):
+            continue  # own fast path, not a foreign object's
+        yield node.lineno, (
+            f"module calls {name}() on a collaborator but never checks "
+            f"batch_capable — add the capability gate and object-path "
+            f"fallback (docs/internals-batch.md)"
+        )
+        return  # one finding per module is enough
+
+
+def _check_reducers(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.BATCH_SCOPE):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        attr = node.func.attr
+        if attr not in config.BANNED_REDUCERS:
+            continue
+        chain = dotted_chain(node.func)
+        if len(chain) == 2 and chain[0] in config.NUMPY_NAMES:
+            spelled = f"{chain[0]}.{attr}"
+        else:
+            spelled = f".{attr}()"
+        yield node.lineno, (
+            f"{spelled} reassociates float additions (pairwise order) "
+            f"and breaks bitwise parity with the sequential object "
+            f"path; use np.add.reduce / np.add.accumulate, or suppress "
+            f"with a justification if the dtype makes order immaterial"
+        )
+
+
+RULES = [
+    Rule("BATCH001", "error",
+         "public *_batch entry point without an object-path sibling",
+         _check_siblings),
+    Rule("BATCH002", "error",
+         "foreign *_batch call without a batch_capable gate",
+         _check_gate),
+    Rule("BATCH003", "error",
+         "float-reassociating numpy reduction in batch-kernel scope",
+         _check_reducers),
+]

@@ -1,0 +1,191 @@
+"""KEY rules: every result-affecting job field must reach the cache key.
+
+PR 2 fixed seed/cache-key aliasing (two different conditions hashing to
+one cache entry); PR 5 had to remember to thread ``batch`` through both
+``prepare_key`` and ``cache_token``.  These rules make that audit
+mechanical: for every class that defines ``cache_token`` (and, where
+present, ``prepare_key``), the declared dataclass fields are compared
+against the ``self.<field>`` reads reachable from that method.
+
+KEY001  field absent from cache_token (and not in CACHE_KEY_EXEMPT)
+KEY002  field absent from prepare_key (and not in PREPARE_KEY_EXEMPT)
+KEY003  malformed exempt allowlist (non-literal dict, or an entry with
+        no justification string)
+
+Allowlist format, at module level in the job module itself::
+
+    PREPARE_KEY_EXEMPT = {
+        "MultihopShardJob.shard": "replay parameter; the prepared "
+                                  "artifact is shared across shards",
+    }
+
+Keys are ``ClassName.field`` (preferred) or a bare ``field`` applying to
+every class in the module; values are the human justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import FileContext, Rule
+from .. import config
+
+Findings = Iterator[Tuple[int, str]]
+
+
+def _exempt_dict(tree: ast.Module, name: str
+                 ) -> Tuple[Dict[str, str], List[Tuple[int, str]]]:
+    """Parse a module-level ``NAME = {literal dict}`` allowlist."""
+    problems: List[Tuple[int, str]] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if name not in targets:
+            continue
+        try:
+            value = ast.literal_eval(node.value)
+        except (ValueError, SyntaxError):
+            problems.append((node.lineno,
+                             f"{name} must be a literal dict"))
+            return {}, problems
+        if not isinstance(value, dict):
+            problems.append((node.lineno, f"{name} must be a dict"))
+            return {}, problems
+        for key, justification in value.items():
+            if not (isinstance(justification, str)
+                    and justification.strip()):
+                problems.append((
+                    node.lineno,
+                    f"{name}[{key!r}] needs a non-empty justification "
+                    f"string"))
+        return {str(k): str(v) for k, v in value.items()}, problems
+    return {}, problems
+
+
+def _class_fields(cls: ast.ClassDef,
+                  classes: Dict[str, ast.ClassDef]) -> Dict[str, int]:
+    """Declared dataclass fields (name -> line), bases included."""
+    fields: Dict[str, int] = {}
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id in classes:
+            fields.update(_class_fields(classes[base.id], classes))
+    for node in cls.body:
+        if (isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.simple):
+            annotation = ast.unparse(node.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields[node.target.id] = node.lineno
+    return fields
+
+
+def _class_methods(cls: ast.ClassDef, classes: Dict[str, ast.ClassDef]
+                   ) -> Dict[str, ast.FunctionDef]:
+    """name -> def, following module-local single inheritance."""
+    methods: Dict[str, ast.FunctionDef] = {}
+    for base in cls.bases:
+        if isinstance(base, ast.Name) and base.id in classes:
+            methods.update(_class_methods(classes[base.id], classes))
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[node.name] = node
+    return methods
+
+
+def _reachable_reads(start: str, methods: Dict[str, ast.FunctionDef]
+                     ) -> Set[str]:
+    """Every ``self.<name>`` reachable from *start*, recursing through
+    same-class method/property references (incl. ``super().m()``)."""
+    reads: Set[str] = set()
+    visited: Set[str] = set()
+    queue = [start]
+    while queue:
+        name = queue.pop()
+        if name in visited or name not in methods:
+            continue
+        visited.add(name)
+        for node in ast.walk(methods[name]):
+            attr: Optional[str] = None
+            if isinstance(node, ast.Attribute):
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id == "self"):
+                    attr = node.attr
+                elif (isinstance(node.value, ast.Call)
+                      and isinstance(node.value.func, ast.Name)
+                      and node.value.func.id == "super"):
+                    attr = node.attr
+            if attr is None:
+                continue
+            if attr in methods:
+                queue.append(attr)
+            else:
+                reads.add(attr)
+    return reads
+
+
+def _is_exempt(cls_name: str, field: str, exempt: Dict[str, str]) -> bool:
+    return f"{cls_name}.{field}" in exempt or field in exempt
+
+
+def _check_keys(ctx: FileContext, method: str, exempt_name: str,
+                what: str) -> Findings:
+    exempt, problems = _exempt_dict(ctx.tree, exempt_name)
+    classes = {node.name: node for node in ctx.tree.body
+               if isinstance(node, ast.ClassDef)}
+    for cls in classes.values():
+        methods = _class_methods(cls, classes)
+        own_names = {n.name for n in cls.body
+                     if isinstance(n, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))}
+        # only classes that define (not merely inherit) the key method
+        if method not in own_names:
+            continue
+        fields = _class_fields(cls, classes)
+        reads = _reachable_reads(method, methods)
+        for field, line in sorted(fields.items()):
+            if field in reads or _is_exempt(cls.name, field, exempt):
+                continue
+            yield methods[method].lineno, (
+                f"{cls.name}.{field} is a declared field but is never "
+                f"folded into {method}(); a value change would alias "
+                f"{what} — add it to the key or to {exempt_name} with a "
+                f"justification"
+            )
+
+
+def _check_cache_token(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.CACHEKEY_SCOPE):
+        return
+    yield from _check_keys(ctx, "cache_token", config.CACHE_EXEMPT_NAME,
+                           "two distinct results to one cache entry")
+
+
+def _check_prepare_key(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.CACHEKEY_SCOPE):
+        return
+    yield from _check_keys(ctx, "prepare_key", config.PREPARE_EXEMPT_NAME,
+                           "two distinct prewarmed artifacts")
+
+
+def _check_exempt_wellformed(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.CACHEKEY_SCOPE):
+        return
+    for name in (config.CACHE_EXEMPT_NAME, config.PREPARE_EXEMPT_NAME):
+        _, problems = _exempt_dict(ctx.tree, name)
+        yield from problems
+
+
+RULES = [
+    Rule("KEY001", "error",
+         "dataclass field missing from cache_token",
+         _check_cache_token),
+    Rule("KEY002", "error",
+         "dataclass field missing from prepare_key",
+         _check_prepare_key),
+    Rule("KEY003", "error",
+         "malformed CACHE_KEY_EXEMPT / PREPARE_KEY_EXEMPT allowlist",
+         _check_exempt_wellformed),
+]

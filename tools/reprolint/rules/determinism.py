@@ -1,0 +1,124 @@
+"""DET rules: simulation code must be a pure function of (config, seed).
+
+DET001  wall-clock / OS-entropy call (time.time, datetime.now, os.urandom…)
+DET002  interpreter-global RNG (random.*, np.random.* without a seeded
+        generator object)
+DET003  iteration over an unordered set where order can reach output
+        (the PR 5 receiver class of bug) — wrap in sorted()
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from ..engine import FileContext, Rule, dotted_chain
+from .. import config
+
+Findings = Iterator[Tuple[int, str]]
+
+
+def _check_wall_clock(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.DETERMINISM_SCOPE):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if len(chain) < 2:
+            continue
+        tail = ".".join(chain[-2:])
+        if tail in config.WALL_CLOCK_CALLS:
+            yield node.lineno, (
+                f"call to {tail}() makes output depend on wall clock / OS "
+                f"entropy; thread a value from the experiment config instead"
+            )
+
+
+def _check_global_random(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.DETERMINISM_SCOPE):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] not in config.RANDOM_MODULE_ALLOWED:
+                yield node.lineno, (
+                    f"random.{chain[1]}() uses the interpreter-global RNG; "
+                    f"use an explicitly seeded random.Random(seed) instance"
+                )
+        elif (len(chain) >= 3 and chain[0] in config.NUMPY_NAMES
+                and chain[1] == "random"
+                and chain[2] not in config.NP_RANDOM_ALLOWED):
+            yield node.lineno, (
+                f"{chain[0]}.random.{chain[2]}() uses numpy's global RNG "
+                f"state; construct np.random.default_rng(seed) or a seeded "
+                f"RandomState"
+            )
+
+
+def _is_unordered_set_expr(node: ast.AST) -> bool:
+    """Syntactically, does *node* evaluate to an unordered set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference",
+                "symmetric_difference"):
+            # set-algebra methods; only flag when an operand is itself
+            # syntactically a set, else `str.union`-style false positives
+            operands = [node.func.value, *node.args]
+            return any(_is_unordered_set_expr(op) or _is_keys_view(op)
+                       for op in operands)
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # dict .keys() views combined with | & - ^ produce sets
+        sides = (node.left, node.right)
+        return any(_is_unordered_set_expr(s) or _is_keys_view(s)
+                   for s in sides)
+    return False
+
+
+def _is_keys_view(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys")
+
+
+def _iter_targets(tree: ast.Module) -> Iterable[ast.AST]:
+    """Every expression something iterates over: for-loops and
+    comprehension generators."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, ast.comprehension):
+            yield node.iter
+
+
+def _check_set_iteration(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.DETERMINISM_SCOPE):
+        return
+    for target in _iter_targets(ctx.tree):
+        if _is_unordered_set_expr(target):
+            yield target.lineno, (
+                "iterating an unordered set: element order is hash-seed "
+                "and insertion-history dependent and can leak into "
+                "emission/serialization order; iterate sorted(...) instead"
+            )
+
+
+RULES = [
+    Rule("DET001", "error",
+         "wall-clock or OS-entropy call in deterministic scope",
+         _check_wall_clock),
+    Rule("DET002", "error",
+         "interpreter-global RNG use in deterministic scope",
+         _check_global_random),
+    Rule("DET003", "error",
+         "iteration over an unordered set in deterministic scope",
+         _check_set_iteration),
+]

@@ -1,0 +1,149 @@
+"""LOCK rules: broker state may only be touched while holding its lock.
+
+PR 6's chaos hardening ended with a hand audit of every guarded-field
+access in ``distrib/broker.py``; these rules re-run that audit on every
+lint.  The model is lexical: an access is lock-held if it sits inside a
+``with self._lock:`` / ``with self._wake:`` block (the Condition wraps
+the same RLock), inside a ``with <peer>.send_lock:`` block for the send
+lock, or inside a function annotated ``# reprolint: holds=_lock`` —
+whose call sites must then themselves be lock-held (LOCK003).
+
+``__init__`` bodies are exempt: constructors run before the object is
+shared with any thread.
+
+LOCK001  guarded broker attribute (self._workers, self._pending, …)
+         accessed outside the broker lock
+LOCK002  guarded sweep/driver attribute (remaining, settled, journal, …)
+         accessed outside the broker lock
+LOCK003  a `holds=`-annotated function called without the lock held
+LOCK004  `.conn.send(...)` outside `with <peer>.send_lock:`, or a
+         `.journal.<method>(...)` call outside the broker lock
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..engine import FileContext, Rule, dotted_chain
+from .. import config
+
+Findings = Iterator[Tuple[int, str]]
+
+BROKER = "broker_lock"
+SEND = "send_lock"
+
+_LOCK_TOKEN = {**{name: BROKER for name in config.BROKER_LOCK_NAMES},
+               config.SEND_LOCK_NAME: SEND}
+
+Violation = Tuple[str, int, str]  # (rule id, line, message)
+
+
+def _holds_functions(ctx: FileContext) -> Dict[str, FrozenSet[str]]:
+    """Functions annotated `# reprolint: holds=...` -> locks they assume."""
+    assumed: Dict[str, FrozenSet[str]] = {}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        locks = frozenset(_LOCK_TOKEN[name]
+                          for name in ctx.holds_for_def(node)
+                          if name in _LOCK_TOKEN)
+        if locks:
+            assumed[node.name] = locks
+    return assumed
+
+
+def _with_locks(node: ast.With) -> Set[str]:
+    """Lock tokens acquired by one ``with`` statement."""
+    acquired: Set[str] = set()
+    for item in node.items:
+        chain = dotted_chain(item.context_expr)
+        token = _LOCK_TOKEN.get(chain[-1])
+        if token is not None:
+            acquired.add(token)
+    return acquired
+
+
+def _analyze(ctx: FileContext) -> List[Violation]:
+    holds_map = _holds_functions(ctx)
+    out: List[Violation] = []
+
+    def visit(node: ast.AST, held: FrozenSet[str], in_init: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            held = holds_map.get(node.name, frozenset())
+            in_init = node.name == "__init__"
+        elif isinstance(node, ast.With):
+            held = held | frozenset(_with_locks(node))
+        elif isinstance(node, ast.Attribute) and not in_init:
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in config.BROKER_GUARDED_SELF
+                    and BROKER not in held):
+                out.append((
+                    "LOCK001", node.lineno,
+                    f"self.{node.attr} accessed outside `with self._lock`"
+                    f" — broker collections are guarded state"))
+            elif (node.attr in config.BROKER_GUARDED_VALUE
+                    and BROKER not in held):
+                out.append((
+                    "LOCK002", node.lineno,
+                    f".{node.attr} accessed outside `with self._lock` — "
+                    f"sweep/driver bookkeeping is guarded by the broker "
+                    f"lock"))
+        if isinstance(node, ast.Call) and not in_init:
+            chain = dotted_chain(node.func)
+            if (len(chain) == 2 and chain[0] == "self"
+                    and chain[1] in holds_map
+                    and not holds_map[chain[1]] <= held):
+                out.append((
+                    "LOCK003", node.lineno,
+                    f"self.{chain[1]}() is annotated `holds=` but the "
+                    f"call site does not hold the lock"))
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "send"
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "conn"
+                    and SEND not in held):
+                out.append((
+                    "LOCK004", node.lineno,
+                    "conn.send() outside `with <peer>.send_lock` — "
+                    "concurrent sends interleave pickled frames"))
+            if (isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "journal"
+                    and BROKER not in held):
+                out.append((
+                    "LOCK004", node.lineno,
+                    f"journal.{node.func.attr}() outside the broker lock "
+                    f"— journal writers must serialize under self._lock"))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held, in_init)
+
+    visit(ctx.tree, frozenset(), False)
+    return out
+
+
+def _make_check(rule_id: str):
+    def check(ctx: FileContext) -> Findings:
+        if not ctx.in_scope(config.LOCK_SCOPE):
+            return
+        for found_id, line, message in _analyze(ctx):
+            if found_id == rule_id:
+                yield line, message
+    return check
+
+
+RULES = [
+    Rule("LOCK001", "error",
+         "guarded broker collection accessed outside the broker lock",
+         _make_check("LOCK001")),
+    Rule("LOCK002", "error",
+         "guarded sweep/driver attribute accessed outside the broker lock",
+         _make_check("LOCK002")),
+    Rule("LOCK003", "error",
+         "holds=-annotated function called without the lock",
+         _make_check("LOCK003")),
+    Rule("LOCK004", "error",
+         "conn.send / journal write outside its lock",
+         _make_check("LOCK004")),
+]
