@@ -14,6 +14,8 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir broker --listen 0.0.0.0:7077               # standing cluster…
     repro-rlir worker --connect HOST:7077                 # …one per machine
     repro-rlir fig4a --broker HOST:7077                   # …drive it
+    repro-rlir shape --listen :7177 --upstream HOST:7077 --latency-ms 500 \\
+        --jitter-ms 200 --seed 1                          # degraded-link relay
 
 Experiment subcommands print the same rows/series the paper's figures plot
 (and the benches assert on), plus terminal CDF plots.  Their condition
@@ -130,6 +132,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist queue state here so a restarted broker "
                           "resumes unfinished sweeps (restart with the same "
                           "port and the same DIR)")
+    brk.add_argument("--max-hedges-per-chunk", type=int, default=1,
+                     help="duplicate dispatches allowed per tail chunk stuck "
+                          "on a slow worker; 0 disables hedging (default 1)")
+
+    shp = sub.add_parser(
+        "shape", help="run a degraded-link relay in front of a broker")
+    shp.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                     help="bind address; port 0 picks one (default 127.0.0.1:0)")
+    shp.add_argument("--upstream", required=True, metavar="HOST:PORT",
+                     help="broker (or other peer) to relay to")
+    shp.add_argument("--latency-ms", type=float, default=0.0,
+                     help="one-way delay added to every message (default 0)")
+    shp.add_argument("--jitter-ms", type=float, default=0.0,
+                     help="uniform ±jitter around the base latency (default 0)")
+    shp.add_argument("--bandwidth-kbps", type=float, default=None,
+                     help="throttle to this many kilobits/s (default: none)")
+    shp.add_argument("--reorder-window", type=int, default=0,
+                     help="messages may overtake at most this many others "
+                          "(default 0: in-order)")
+    shp.add_argument("--stutter-rate", type=float, default=0.0,
+                     help="probability a message freezes the link (default 0)")
+    shp.add_argument("--stutter-ms", type=float, default=0.0,
+                     help="length of each stutter freeze (default 0)")
+    shp.add_argument("--seed", type=int, default=0,
+                     help="seed for jitter/reorder/stutter draws; same seed "
+                          "and traffic replays the same degradation "
+                          "(default 0)")
 
     ext = sub.add_parser("extensions", help="run the extension studies")
     ext.add_argument("studies", nargs="*", default=[], metavar="STUDY",
@@ -506,6 +535,7 @@ def _cmd_broker(args) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         max_retries=args.max_retries,
         journal_dir=args.journal_dir,
+        max_hedges_per_chunk=args.max_hedges_per_chunk,
     )
     resumed = broker.sweep_count()
     print(f"broker listening on {format_address(broker.address)} "
@@ -518,6 +548,38 @@ def _cmd_broker(args) -> int:
         pass
     finally:
         broker.close()
+    return 0
+
+
+def _cmd_shape(args) -> int:
+    from .distrib.protocol import format_address, parse_address
+    from .distrib.shaping import LinkShape, ShapingProxy
+
+    shape = LinkShape(
+        latency=args.latency_ms / 1000.0,
+        jitter=args.jitter_ms / 1000.0,
+        # kilobits/s -> bytes/s
+        bandwidth=(args.bandwidth_kbps * 125.0
+                   if args.bandwidth_kbps else None),
+        reorder_window=max(0, args.reorder_window),
+        stutter_rate=args.stutter_rate,
+        stutter_duration=args.stutter_ms / 1000.0,
+    )
+    proxy = ShapingProxy(
+        upstream=parse_address(args.upstream),
+        shape=shape,
+        listen=parse_address(args.listen),
+        seed=args.seed,
+    )
+    proxy.start()
+    print(f"shaping {format_address(proxy.address)} -> {args.upstream} "
+          f"({shape!r}, seed {args.seed})", flush=True)
+    try:
+        proxy.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.close()
     return 0
 
 
@@ -535,6 +597,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "worker": _cmd_worker,
     "broker": _cmd_broker,
+    "shape": _cmd_shape,
 }
 
 

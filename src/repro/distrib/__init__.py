@@ -13,7 +13,11 @@ machines with nothing but the stdlib:
   verified so every peer runs identical simulator code;
 * :class:`~repro.distrib.runner.DistributedRunner` — the
   :class:`ParallelRunner` interface over a cluster (embedded or external
-  broker), byte-identical results to the serial backend.
+  broker), byte-identical results to the serial backend;
+* :class:`~repro.distrib.shaping.ShapingProxy` — a deterministic
+  degraded-link relay (latency, jitter, throttling, reordering, stutter)
+  for rehearsing the cluster's behaviour on bad networks, also available
+  as ``python -m repro shape``.
 
 Typical use::
 
@@ -35,6 +39,7 @@ from .journal import SweepJournal, load_journals
 from .progress import ProgressPrinter, ProgressSnapshot
 from .protocol import BrokerUnavailableError, DistributedSweepError, JobFailure
 from .runner import DistributedRunner
+from .shaping import LinkShape, ShapingProxy
 from .worker import worker_main
 
 __all__ = [
@@ -43,8 +48,10 @@ __all__ = [
     "DistributedRunner",
     "DistributedSweepError",
     "JobFailure",
+    "LinkShape",
     "ProgressPrinter",
     "ProgressSnapshot",
+    "ShapingProxy",
     "SweepJournal",
     "load_journals",
     "worker_main",

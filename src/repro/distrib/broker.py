@@ -18,6 +18,16 @@ Fault model
   worker's in-flight chunk immediately.
 * **Hung / partitioned worker** — heartbeats stop; the monitor thread
   declares it dead after ``heartbeat_timeout`` and requeues the same way.
+* **Degraded worker** — heartbeats still arrive, but late.  The monitor
+  tracks each worker's heartbeat-interarrival EWMA and variance
+  (phi-accrual style) and marks a worker *suspect* well before the death
+  cliff: suspects are deprioritized for new dispatch, shown as ``slow``
+  in the progress line, and — when the sweep is down to its tail — their
+  in-flight chunk is *hedged*: a duplicate is dispatched to an idle
+  worker, first result wins, the loser is cancelled.  Hedges are
+  journaled (the per-chunk cap survives a broker bounce) and never count
+  toward ``max_retries``.  Suspicion is advisory and reversible: a
+  suspect that speaks again is simply healthy, nothing was requeued.
 * **Job raised** — counted like a worker loss for that chunk (the failure
   is usually deterministic, so the retry budget bounds the damage).
 * **Partitioned driver** — its connection EOFs without a ``bye``; the
@@ -67,6 +77,7 @@ workers raced which chunks — cannot influence the assembled sweep output.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from collections import deque
@@ -77,11 +88,11 @@ from multiprocessing.connection import (
     answer_challenge,
     deliver_challenge,
 )
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..runner.cache import code_fingerprint
 from .journal import SweepJournal, load_journals
-from .protocol import DEFAULT_AUTHKEY, chunk_jobs
+from .protocol import DEFAULT_AUTHKEY, PROTOCOL_VERSION, chunk_jobs
 
 __all__ = ["Broker"]
 
@@ -102,8 +113,62 @@ class _Peer:
             self.conn.send(message)
 
 
+# Suspicion model constants (see _Worker.observe / suspect_after).
+_HB_ALPHA = 0.25       # EWMA weight for interarrival mean/variance
+_HB_MIN_SAMPLES = 3    # intervals before the adaptive threshold is trusted
+_HB_PHI = 4.0          # deviations of silence that make a worker suspect
+_SUSPECT_FLOOR = 0.25  # x heartbeat_timeout: adaptive threshold floor
+_SUSPECT_CEIL = 0.5    # x heartbeat_timeout: silence is suspicious here even
+                       # for a worker whose learned cadence is slower — the
+                       # model must not adapt its way past the death cliff
+
+
 class _Worker(_Peer):
-    pass
+    """A worker peer plus its learned heartbeat cadence.
+
+    The cadence fields are, like ``last_seen``, written only by this
+    worker's receiver thread (or the scripted harness) and read by the
+    monitor without the broker lock — deliberately: a torn read can only
+    make the worker suspect one monitor pass early or late, and suspicion
+    is advisory (dispatch preference, hedge trigger), never terminal.
+    """
+
+    def __init__(self, peer_id: int, conn: Connection, info: dict) -> None:
+        super().__init__(peer_id, conn, info)
+        self.hb_mean = 0.0
+        self.hb_var = 0.0
+        self.hb_samples = 0
+
+    def observe(self, now: float) -> None:
+        """Fold one message arrival into the interarrival EWMA."""
+        interval = now - self.last_seen
+        self.last_seen = now
+        if interval <= 0.0:
+            return
+        if self.hb_samples == 0:
+            self.hb_mean = interval
+        else:
+            delta = interval - self.hb_mean
+            self.hb_mean += _HB_ALPHA * delta
+            self.hb_var += _HB_ALPHA * (delta * delta - self.hb_var)
+        self.hb_samples += 1
+
+    def suspect_after(self, timeout: float) -> float:
+        """Seconds of silence after which this worker counts as *suspect*.
+
+        Phi-accrual flavored: mean interarrival plus ``_HB_PHI``
+        deviations of it, clamped to ``[timeout/4, timeout/2]`` so the
+        constructor argument still bounds behavior — a jittery-but-fine
+        link is never suspected before ``timeout/4``, a consistently slow
+        cadence cannot learn its way past ``timeout/2``, and death stays
+        exactly where it always was, at the full timeout.
+        """
+        ceiling = timeout * _SUSPECT_CEIL
+        if self.hb_samples < _HB_MIN_SAMPLES:
+            return ceiling
+        deviation = math.sqrt(self.hb_var) if self.hb_var > 0.0 else 0.0
+        adaptive = self.hb_mean + _HB_PHI * max(deviation, 0.1 * self.hb_mean)
+        return min(max(adaptive, timeout * _SUSPECT_FLOOR), ceiling)
 
 
 class _Driver(_Peer):
@@ -122,7 +187,8 @@ class _Sweep:
     """
 
     __slots__ = ("id", "driver_id", "total", "done", "retries", "finished",
-                 "remaining", "settled", "failures", "journal")
+                 "remaining", "settled", "failures", "journal",
+                 "chunk_ewma", "hedged", "hedges")
 
     def __init__(self, sweep_id: str) -> None:
         self.id = sweep_id
@@ -135,6 +201,9 @@ class _Sweep:
         self.settled: Dict[int, tuple] = {}  # seq -> outcome, kept for reattach
         self.failures: List[tuple] = []  # (seq, attempts, reason)
         self.journal: Optional[SweepJournal] = None
+        self.chunk_ewma = 0.0  # observed per-chunk completion time, EWMA
+        self.hedged: Dict[int, int] = {}  # seq -> hedge count (journaled cap)
+        self.hedges = 0  # hedge dispatches, for the progress line
 
 
 def _split_outcomes(outcomes: List[tuple]) -> Tuple[List[tuple], List[tuple]]:
@@ -158,7 +227,8 @@ def _last_error_line(trace: Optional[str]) -> str:
 class _Chunk:
     """One dispatch unit: a slice of a sweep's jobs plus its retry state."""
 
-    __slots__ = ("id", "sweep_id", "entries", "failures", "last_error")
+    __slots__ = ("id", "sweep_id", "entries", "failures", "last_error",
+                 "dispatched_at")
 
     def __init__(self, chunk_id: int, sweep_id: str,
                  entries: List[tuple]) -> None:
@@ -167,6 +237,7 @@ class _Chunk:
         self.entries = entries  # [(seq, job), ...]
         self.failures = 0
         self.last_error: Optional[str] = None
+        self.dispatched_at: Optional[float] = None  # broker clock at dispatch
 
 
 class Broker:
@@ -185,9 +256,26 @@ class Broker:
         immediately before starting a result transfer, so this must only
         exceed the worst-case time to *ship* one chunk's results (not to
         compute them); raise it for very slow links or huge results.
+        This value also bounds the adaptive *suspicion* band: a worker is
+        marked suspect after between a quarter and half of it, per its
+        own learned heartbeat cadence (see ``_Worker.suspect_after``).
     max_retries:
         How many times a chunk may fail (worker death or job exception)
         before its jobs are surfaced as structured failures.
+    max_hedges_per_chunk:
+        How many duplicate (hedge) dispatches any one job may receive
+        when its chunk lingers on a suspect worker; ``0`` disables
+        hedging.  Hedges never count toward ``max_retries``.
+    hedge_factor:
+        A suspect worker's chunk is hedged once it has been running for
+        at least this multiple of the sweep's per-chunk completion EWMA
+        (and the queue is otherwise drained — hedging is a tail
+        optimization, not a scheduler).
+    handshake_timeout:
+        Seconds a connecting peer may take to finish the HMAC challenge
+        and send its hello.  Defaults to ``max(10, 3 x
+        heartbeat_timeout)`` so a high-latency but healthy link (e.g.
+        through a shaping proxy) is not cut off mid-join.
     fingerprint:
         Code fingerprint to enforce on joining peers; defaults to this
         process's :func:`~repro.runner.cache.code_fingerprint`.
@@ -207,6 +295,9 @@ class Broker:
         max_retries: int = 2,
         fingerprint: Optional[str] = None,
         journal_dir: Optional[str] = None,
+        max_hedges_per_chunk: int = 1,
+        hedge_factor: float = 3.0,
+        handshake_timeout: Optional[float] = None,
     ) -> None:
         # No authkey on the Listener: with one, accept() would run the HMAC
         # challenge inline in the accept loop, where a silent TCP peer (port
@@ -220,6 +311,13 @@ class Broker:
         self.max_retries = max_retries
         self.fingerprint = fingerprint or code_fingerprint()
         self.journal_dir = str(journal_dir) if journal_dir else None
+        self.max_hedges_per_chunk = max(0, int(max_hedges_per_chunk))
+        self.hedge_factor = max(1.0, float(hedge_factor))
+        self.handshake_timeout = (
+            float(handshake_timeout) if handshake_timeout is not None
+            else max(10.0, 3.0 * heartbeat_timeout))
+        # injectable for the deterministic harness (chaos.py scripts time)
+        self._clock: Callable[[], float] = time.monotonic
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
@@ -231,6 +329,8 @@ class Broker:
         self._idle: set = set()
         self._pending: deque = deque()
         self._assignments: Dict[int, _Chunk] = {}  # worker id -> chunk
+        self._suspects: set = set()  # worker ids past their suspicion point
+        self._dead: deque = deque(maxlen=8)  # recently reaped worker ids
         self._threads: List[threading.Thread] = []
         self._started = False
         self._recover()
@@ -254,6 +354,10 @@ class Broker:
                                   if out[0] == "failed"]
                 unsettled = rec.unsettled()
                 sweep.remaining = {seq for seq, _key, _job in unsettled}
+                # hedge bookkeeping survives the bounce: the per-chunk
+                # hedge cap keeps holding across a broker restart
+                sweep.hedged = dict(rec.hedged)
+                sweep.hedges = rec.hedge_records
                 sweep.journal = rec.reopen()
                 self._sweeps[sweep.id] = sweep
                 # back on the queue immediately: workers resume the sweep
@@ -367,7 +471,7 @@ class Broker:
                 except OSError:
                     pass
 
-        watchdog = threading.Timer(10.0, _expire)
+        watchdog = threading.Timer(self.handshake_timeout, _expire)
         watchdog.daemon = True
         watchdog.start()
         try:
@@ -384,7 +488,7 @@ class Broker:
             handshake_done.set()
             watchdog.cancel()
         try:
-            if not conn.poll(10.0):
+            if not conn.poll(self.handshake_timeout):
                 conn.close()
                 return
             hello = conn.recv()
@@ -411,6 +515,13 @@ class Broker:
         except (EOFError, OSError):
             return
         peer_id = next(self._ids)
+        # protocol v3: the welcome carries broker metadata — workers derive
+        # their heartbeat cadence from the advertised timeout instead of
+        # guessing, so a short-timeout broker cannot race its own workers
+        meta = {
+            "protocol": PROTOCOL_VERSION,
+            "heartbeat_timeout": self.heartbeat_timeout,
+        }
         if role == "worker":
             worker = _Worker(peer_id, conn, info)
             with self._wake:
@@ -419,7 +530,7 @@ class Broker:
                     return
                 self._workers[peer_id] = worker
             try:
-                worker.send(("welcome", peer_id, self.fingerprint))
+                worker.send(("welcome", peer_id, self.fingerprint, meta))
             except (OSError, ValueError):
                 self._worker_lost(worker)
                 return
@@ -433,7 +544,7 @@ class Broker:
                     return
                 self._drivers[peer_id] = driver
             try:
-                driver.send(("welcome", peer_id, self.fingerprint))
+                driver.send(("welcome", peer_id, self.fingerprint, meta))
             except (OSError, ValueError):
                 self._driver_lost(driver)
                 return
@@ -455,7 +566,7 @@ class Broker:
                     # blocked recv, which then raises TypeError rather
                     # than OSError — same meaning: connection gone
                     break
-                worker.last_seen = time.monotonic()
+                worker.observe(self._clock())
                 tag = message[0]
                 if tag == "heartbeat":
                     continue
@@ -482,6 +593,17 @@ class Broker:
                 if worker.alive:
                     self._idle.add(worker.id)
                     self._wake.notify_all()
+                sweep = self._sweeps.get(chunk.sweep_id)
+                if sweep is not None and chunk.dispatched_at is not None:
+                    # completion-time EWMA feeds the hedge trigger; a
+                    # cancelled loser or a slow straggler inflating the
+                    # estimate only delays hedging, never settlement
+                    elapsed = max(0.0, self._clock() - chunk.dispatched_at)
+                    if sweep.chunk_ewma <= 0.0:
+                        sweep.chunk_ewma = elapsed
+                    else:
+                        sweep.chunk_ewma += _HB_ALPHA * (elapsed
+                                                         - sweep.chunk_ewma)
             # else: a result for a chunk this worker does NOT hold — a late
             # duplicate, or a reply from a worker already declared dead for
             # it.  Deliver anyway (settlement is idempotent, first outcome
@@ -517,6 +639,8 @@ class Broker:
             worker.alive = False
             self._workers.pop(worker.id, None)
             self._idle.discard(worker.id)
+            self._suspects.discard(worker.id)
+            self._dead.append(worker.id)  # for the progress health line
             chunk = self._assignments.pop(worker.id, None)
             self._wake.notify_all()
         try:
@@ -557,22 +681,42 @@ class Broker:
                              for seq, _job in chunk.entries])
 
     def _monitor_loop(self) -> None:
-        interval = max(0.2, min(self.heartbeat_timeout / 4.0, 2.0))
+        interval = max(0.2, min(self.heartbeat_timeout / 8.0, 2.0))
         while not self._closed:
             time.sleep(interval)
-            self._reap_stale(time.monotonic())
+            self._reap_stale(self._clock())
 
     def _reap_stale(self, now: float) -> List[_Worker]:
-        """One monitor pass: declare silent workers dead, requeue chunks.
+        """One monitor pass: suspicion, hedging, then the death verdicts.
 
         Extracted from the loop (and fed an explicit clock) so the
         interleaving harness can fire monitor ticks at scripted instants.
+        Three sub-passes under one lock hold: (1) workers silent past the
+        hard timeout are collected as stale, (2) the suspect set is
+        refreshed against each survivor's adaptive silence threshold —
+        recovery needs no requeue, the worker simply spoke again and its
+        assignment was never touched — and (3) tail chunks lingering on
+        suspect workers are hedged onto idle ones.  Sends happen after
+        the lock is released, mirroring ``_dispatch_once``.
         """
+        hedges: List[Tuple[_Worker, _Sweep, tuple]] = []
+        suspects_changed = False
         with self._lock:
             stale = [
                 w for w in self._workers.values()
                 if now - w.last_seen > self.heartbeat_timeout
             ]
+            stale_ids = {w.id for w in stale}
+            for w in self._workers.values():
+                overdue = now - w.last_seen
+                if overdue > w.suspect_after(self.heartbeat_timeout):
+                    if w.id not in self._suspects:
+                        self._suspects.add(w.id)
+                        suspects_changed = True
+                elif w.id in self._suspects:
+                    self._suspects.discard(w.id)
+                    suspects_changed = True
+            hedges = self._plan_hedges(now, stale_ids)
         for worker in stale:
             # declare it dead *here* — a close() alone would not wake a
             # receiver thread blocked in recv() on a silent-but-open
@@ -582,7 +726,72 @@ class Broker:
             # "dead" worker still manages to send is deduplicated at
             # settlement (first outcome per job wins).
             self._worker_lost(worker)
+        for target, sweep, payload in hedges:
+            try:
+                target.send(payload)
+            except (OSError, ValueError):
+                self._worker_lost(target)  # requeues the hedge chunk
+            else:
+                self._progress_for(sweep)
+        if (suspects_changed or hedges) and not stale:
+            self._broadcast_progress()
         return stale
+
+    def _plan_hedges(self, now: float,
+                     stale_ids: set) -> List[Tuple[_Worker, _Sweep, tuple]]:  # reprolint: holds=_lock
+        """Plan duplicate dispatches for tail chunks stuck on suspects.
+
+        A hedge fires only when the queue is drained (this is a tail
+        optimization: with pending work, an idle worker should take new
+        jobs, not duplicates), the sweep has a completion-time baseline,
+        the chunk has been running at least ``hedge_factor`` times that
+        baseline, and the per-seq hedge budget (``max_hedges_per_chunk``,
+        journaled so a bounced broker keeps honouring it) is not spent.
+        The duplicate is a fresh chunk — own id, remaining-filtered
+        entries — so first-result-wins settlement dedups it for free;
+        the original assignment stays live and nothing counts as a retry.
+        """
+        plans: List[Tuple[_Worker, _Sweep, tuple]] = []
+        if self._closed or self._pending or self.max_hedges_per_chunk <= 0:
+            return plans
+        for worker_id, chunk in sorted(self._assignments.items()):
+            if worker_id not in self._suspects or worker_id in stale_ids:
+                continue
+            sweep = self._sweeps.get(chunk.sweep_id)
+            if sweep is None or sweep.chunk_ewma <= 0.0:
+                continue  # no completed chunk yet: no baseline to hedge on
+            if chunk.dispatched_at is None:
+                continue
+            if now - chunk.dispatched_at < self.hedge_factor * sweep.chunk_ewma:
+                continue
+            entries = [e for e in chunk.entries if e[0] in sweep.remaining]
+            if not entries:
+                continue
+            if max(sweep.hedged.get(seq, 0)
+                   for seq, _job in entries) >= self.max_hedges_per_chunk:
+                continue
+            targets = [wid for wid in self._idle
+                       if wid not in self._suspects and wid not in stale_ids]
+            if not targets:
+                break  # no healthy idle capacity for any further hedge
+            target_id = min(targets)
+            self._idle.discard(target_id)
+            target = self._workers[target_id]
+            hedge = _Chunk(next(self._chunk_ids), chunk.sweep_id, entries)
+            hedge.dispatched_at = now
+            self._assignments[target_id] = hedge
+            seqs = [seq for seq, _job in entries]
+            for seq in seqs:
+                sweep.hedged[seq] = sweep.hedged.get(seq, 0) + 1
+            sweep.hedges += 1
+            if sweep.journal is not None:
+                sweep.journal.record_hedge(seqs)
+            plans.append((target, sweep, (
+                "jobs",
+                hedge.id,
+                [((hedge.sweep_id, seq), job) for seq, job in entries],
+            )))
+        return plans
 
     # ------------------------------------------------------------------
     # driver side
@@ -758,14 +967,23 @@ class Broker:
         overtaking an outcome still waiting to be written (the driver
         stops reading at "done").  Orphaned sweeps settle state-only;
         their outcomes wait in ``sweep.settled`` for the next reattach.
+
+        Settling can make chunks still assigned elsewhere — hedge losers,
+        duplicates requeued by the monitor — pure dead work; those
+        workers are sent a best-effort ``cancel`` after every lock is
+        released (a lost cancel merely wastes the loser's cycles).
         """
+        cancels: List[Tuple[_Worker, int]] = []
+        driver: Optional[_Driver] = None
+        finish = False
         while True:
             with self._lock:
                 driver = (self._drivers.get(sweep.driver_id)
                           if sweep.driver_id is not None else None)
                 if driver is None:
                     self._book(sweep, outcomes)
-                    return
+                    cancels = self._collect_cancels(sweep)
+                    break
             finish = False
             with driver.send_lock:
                 with self._lock:
@@ -774,6 +992,7 @@ class Broker:
                     if current is not driver:
                         continue  # reattached elsewhere: redo the lookup
                     live = self._book(sweep, outcomes)
+                    cancels = self._collect_cancels(sweep)
                     finish = (driver.alive and not sweep.finished
                               and not sweep.remaining)
                     if finish:
@@ -803,8 +1022,31 @@ class Broker:
                         with self._lock:
                             sweep.finished = False
             break
-        if not finish:
+        for worker, chunk_id in cancels:
+            self._safe_send(worker, ("cancel", chunk_id))
+        if driver is not None and not finish:
             self._send_progress(driver)
+
+    def _collect_cancels(self, sweep: _Sweep) -> List[Tuple[_Worker, int]]:  # reprolint: holds=_lock
+        """Assigned chunks of *sweep* with nothing left to settle.
+
+        After a settlement, any other worker still computing those seqs —
+        a hedge loser, a requeued duplicate — is burning cycles for
+        outcomes that can only be dropped.  The assignment is *not* freed
+        here: the worker's own (possibly partial) result or error frees
+        it through the normal ``_complete_chunk`` path, keeping the
+        one-owner-per-worker invariant intact.
+        """
+        cancels: List[Tuple[_Worker, int]] = []
+        for worker_id, chunk in self._assignments.items():
+            if chunk.sweep_id != sweep.id:
+                continue
+            if any(seq in sweep.remaining for seq, _job in chunk.entries):
+                continue
+            worker = self._workers.get(worker_id)
+            if worker is not None:
+                cancels.append((worker, chunk.id))
+        return cancels
 
     # ------------------------------------------------------------------
     # dispatch
@@ -830,9 +1072,14 @@ class Broker:
             ]
             if not chunk.entries:
                 return True  # everything already settled elsewhere
-            worker_id = min(self._idle)
+            # suspects (slow-but-alive workers) are a last resort: prefer
+            # any worker whose heartbeat cadence looks healthy
+            preferred = [wid for wid in self._idle
+                         if wid not in self._suspects]
+            worker_id = min(preferred) if preferred else min(self._idle)
             self._idle.discard(worker_id)
             worker = self._workers[worker_id]
+            chunk.dispatched_at = self._clock()
             self._assignments[worker_id] = chunk
             payload = (
                 "jobs",
@@ -874,6 +1121,10 @@ class Broker:
             total = sum(s.total for s in sweeps)
             done = sum(s.done for s in sweeps)
             failed = sum(len(s.failures) for s in sweeps)
+            health = [(wid, "slow" if wid in self._suspects else "ok")
+                      for wid in sorted(self._workers)]
+            health.extend((wid, "dead") for wid in self._dead
+                          if wid not in self._workers)
             return {
                 "total": total,
                 "done": done,
@@ -882,6 +1133,8 @@ class Broker:
                 "queued": max(0, total - done - failed - running),
                 "workers": len(self._workers),
                 "retries": sum(s.retries for s in sweeps),
+                "hedges": sum(s.hedges for s in sweeps),
+                "worker_health": tuple(health),
             }
 
     def _progress_for(self, sweep: _Sweep) -> None:

@@ -14,10 +14,12 @@ Orderings that take a thousand chaos-soak runs to hit by luck — a stale
 monitor's death verdict, a resubmit racing the final settlement — become
 three-line deterministic regression tests.  :func:`run_random_schedule`
 complements them: it drives a seeded random walk over the same step
-vocabulary (including worker churn, freezes, driver partitions, and — with
-a journal directory — full broker bounces), checks the broker's structural
-invariants after every step, then drains the sweep and asserts exactly-once
-delivery.  Any assertion failure is replayable from just the seed.
+vocabulary (including worker churn, freezes, driver partitions, suspicion
+stepping — partial heartbeats plus small monitor ticks, which exercises
+the adaptive-liveness and hedging paths — and, with a journal directory,
+full broker bounces), checks the broker's structural invariants after
+every step, then drains the sweep and asserts exactly-once delivery.  Any
+assertion failure is replayable from just the seed.
 """
 
 from __future__ import annotations
@@ -69,15 +71,22 @@ class BrokerHarness:
     """
 
     def __init__(self, heartbeat_timeout: float = 10.0, max_retries: int = 2,
-                 journal_dir: Optional[str] = None) -> None:
+                 journal_dir: Optional[str] = None,
+                 max_hedges_per_chunk: int = 1,
+                 hedge_factor: float = 3.0) -> None:
         self.broker = Broker(
             address=("127.0.0.1", 0),
             heartbeat_timeout=heartbeat_timeout,
             max_retries=max_retries,
             journal_dir=journal_dir,
+            max_hedges_per_chunk=max_hedges_per_chunk,
+            hedge_factor=hedge_factor,
         )
         self.broker._listener.close()  # no accept thread will ever run
         self.now = 0.0
+        # dispatch/completion timestamps come from the scripted clock too,
+        # so chunk-duration EWMAs (the hedge trigger) are test-controlled
+        self.broker._clock = lambda: self.now
 
     # -- peers ---------------------------------------------------------
 
@@ -118,26 +127,26 @@ class BrokerHarness:
     # -- worker-side transitions ---------------------------------------
 
     def worker_ready(self, worker: _Worker) -> None:
-        worker.last_seen = self.now
+        worker.observe(self.now)
         with self.broker._wake:
             if worker.alive and worker.id not in self.broker._assignments:
                 self.broker._idle.add(worker.id)
 
     def worker_result(self, worker: _Worker, chunk_id: int,
                       results: List[tuple]) -> None:
-        worker.last_seen = self.now
+        worker.observe(self.now)
         self.broker._complete_chunk(worker, chunk_id, results)
 
     def worker_error(self, worker: _Worker, chunk_id: int,
                      trace: str) -> None:
-        worker.last_seen = self.now
+        worker.observe(self.now)
         self.broker._chunk_error(worker, chunk_id, trace)
 
     def worker_eof(self, worker: _Worker) -> None:
         self.broker._worker_lost(worker)
 
     def heartbeat(self, worker: _Worker) -> None:
-        worker.last_seen = self.now
+        worker.observe(self.now)
 
     # -- broker-side steps ---------------------------------------------
 
@@ -173,6 +182,10 @@ class BrokerHarness:
 
     def idle(self) -> set:
         return set(self.broker._idle)
+
+    def suspects(self) -> set:
+        with self.broker._lock:
+            return set(self.broker._suspects)
 
     def pending(self) -> list:
         return list(self.broker._pending)
@@ -215,10 +228,15 @@ def check_invariants(harness: BrokerHarness) -> None:
         idle = set(broker._idle)
         assigned = dict(broker._assignments)
         workers = set(broker._workers)
+        suspects = set(broker._suspects)
         # an idle worker holds no chunk, and only live workers are idle
         overlap = idle & set(assigned)
         assert not overlap, f"workers both idle and assigned: {overlap}"
         assert idle <= workers, f"dead workers in idle set: {idle - workers}"
+        # suspicion is a state of live workers; the dead are just dead
+        assert suspects <= workers, (
+            f"dead workers still suspected: {suspects - workers}"
+        )
         # every unsettled job of every sweep is reachable via some chunk
         reachable: Dict[str, set] = {}
         for chunk in list(broker._pending) + list(assigned.values()):
@@ -238,6 +256,13 @@ def check_invariants(harness: BrokerHarness) -> None:
             assert sweep.done == n_results, (
                 f"sweep {sweep.id}: done={sweep.done} but "
                 f"{n_results} settled results"
+            )
+            # the hedge budget is a hard cap, including across bounces
+            over = {seq: n for seq, n in sweep.hedged.items()
+                    if n > broker.max_hedges_per_chunk}
+            assert not over, (
+                f"sweep {sweep.id}: hedge cap "
+                f"{broker.max_hedges_per_chunk} exceeded: {over}"
             )
 
 
@@ -343,6 +368,14 @@ def run_random_schedule(
         elif op == 11:
             harness.driver_eof(driver)
             reattach()
+        elif op == 13 and live:
+            # suspicion stepping: only some workers beat, then a short
+            # monitor pass — walks workers in and out of the suspect set
+            # and gives tail hedging a chance to fire
+            for worker in live:
+                if worker.id not in frozen and rng.random() < 0.5:
+                    harness.heartbeat(worker)
+            harness.tick(rng.choice([0.5, 1.5, 2.5]))
         elif op == 12 and journal_dir is not None:
             # broker bounce: everything in memory dies, the journal does not
             harvest()

@@ -21,7 +21,11 @@ records, each written with a single buffered ``write()`` + ``flush()``:
   the sweep (one record per driver submission);
 * ``("settled", [(seq, outcome), …])`` — jobs reached a terminal state,
   where *outcome* is ``("result", value)`` or
-  ``("failed", attempts, reason)``.
+  ``("failed", attempts, reason)``;
+* ``("hedge", [seq, …])`` — those jobs received one duplicate (hedge)
+  dispatch because their chunk lingered on a suspect worker.  Replaying
+  the counts keeps the per-chunk hedge cap (``max_hedges_per_chunk``)
+  holding across a broker bounce with hedges in flight.
 
 Settlements are journaled *before* the outcome is sent to the driver
 (write-ahead), so a crash between the two replays the outcome on
@@ -87,6 +91,10 @@ class SweepJournal:
         """Journal ``(seq, outcome)`` terminal states (write-ahead)."""
         self._append(("settled", list(outcomes)))
 
+    def record_hedge(self, seqs: List[int]) -> None:
+        """Journal one hedge dispatch covering *seqs* (budget accounting)."""
+        self._append(("hedge", list(seqs)))
+
     def close(self) -> None:
         handle, self._handle = self._handle, None
         if handle is not None:
@@ -113,6 +121,8 @@ class RecoveredSweep:
     entries: List[tuple] = field(default_factory=list)  # (seq, key, job)
     settled: Dict[int, tuple] = field(default_factory=dict)  # seq -> outcome
     workers_hint: int = 1
+    hedged: Dict[int, int] = field(default_factory=dict)  # seq -> hedge count
+    hedge_records: int = 0  # hedge dispatches journaled (progress counter)
 
     def unsettled(self) -> List[tuple]:
         return [e for e in self.entries if e[0] not in self.settled]
@@ -152,6 +162,10 @@ def load_journals(directory: str) -> List[RecoveredSweep]:
                 elif record[0] == "settled":
                     for seq, outcome in record[1]:
                         sweep.settled.setdefault(seq, outcome)
+                elif record[0] == "hedge":
+                    sweep.hedge_records += 1
+                    for seq in record[1]:
+                        sweep.hedged[seq] = sweep.hedged.get(seq, 0) + 1
         if sweep.entries:
             recovered.append(sweep)
     return recovered
@@ -168,6 +182,6 @@ def _read_record(handle: BinaryIO) -> Optional[tuple]:
         # record before it was written whole
         return None
     if not (isinstance(record, tuple) and record
-            and record[0] in ("submit", "settled")):
+            and record[0] in ("submit", "settled", "hedge")):
         return None
     return record

@@ -2,24 +2,31 @@
 
 The broker pushes a :class:`ProgressSnapshot`-shaped dict to the driver on
 every state transition (submit, dispatch, completion, failure, worker
-churn); the driver hands it to whatever callback it was built with.
-:class:`ProgressPrinter` is the default CLI sink — one line to *stderr*
-per distinct state, never stdout, so experiment output stays byte-
-comparable with the serial backend's.
+churn, suspicion flips, hedge dispatches); the driver hands it to whatever
+callback it was built with.  :class:`ProgressPrinter` is the default CLI
+sink — one line to *stderr* per distinct state, never stdout, so
+experiment output stays byte-comparable with the serial backend's.
 """
 
 from __future__ import annotations
 
+import shutil
 import sys
 from dataclasses import dataclass, fields
-from typing import Optional, TextIO
+from typing import Optional, TextIO, Tuple
 
 __all__ = ["ProgressSnapshot", "ProgressPrinter"]
 
 
 @dataclass(frozen=True)
 class ProgressSnapshot:
-    """One driver's sweep state as the broker sees it."""
+    """One driver's sweep state as the broker sees it.
+
+    ``worker_health`` is ``((worker_id, state), …)`` where *state* is
+    ``"ok"``, ``"slow"`` (past its adaptive suspicion threshold but not
+    the death cliff), or ``"dead"`` (recently reaped).  ``hedges`` counts
+    duplicate dispatches of tail chunks stuck on slow workers.
+    """
 
     total: int = 0
     queued: int = 0
@@ -28,11 +35,22 @@ class ProgressSnapshot:
     failed: int = 0
     workers: int = 0
     retries: int = 0
+    hedges: int = 0
+    worker_health: Tuple[Tuple[int, str], ...] = ()
 
     @classmethod
     def from_dict(cls, raw: dict) -> "ProgressSnapshot":
         names = {f.name for f in fields(cls)}
-        return cls(**{k: int(v) for k, v in raw.items() if k in names})
+        values: dict = {}
+        for key, value in raw.items():
+            if key not in names:
+                continue  # snapshots from newer brokers stay readable
+            if key == "worker_health":
+                values[key] = tuple(
+                    (int(wid), str(state)) for wid, state in value)
+            else:
+                values[key] = int(value)
+        return cls(**values)
 
     def format(self) -> str:
         line = (
@@ -43,25 +61,57 @@ class ProgressSnapshot:
             line += f" · FAILED {self.failed}"
         if self.retries:
             line += f" · retries {self.retries}"
+        if self.hedges:
+            line += f" · hedges {self.hedges}"
+        unhealthy = [(wid, state) for wid, state in self.worker_health
+                     if state != "ok"]
+        if unhealthy:
+            # all-ok is the common case and stays silent; only trouble
+            # costs line width
+            flags = " ".join(f"w{wid}:{state}" for wid, state in unhealthy)
+            line += f" · [{flags}]"
         return line
 
 
 class ProgressPrinter:
-    """Callback printing each distinct snapshot as one stderr line."""
+    """Callback printing each distinct snapshot as one stderr line.
+
+    Overlong lines are *truncated* to the terminal width, never wrapped:
+    a busy cluster state (many workers, health flags, hedge counts) must
+    cost one line, not scroll the log.  *width* pins the limit for tests;
+    by default it is looked up per call (terminals resize) and applies
+    only when the stream is a TTY — redirected logs keep full lines.
+    """
 
     def __init__(self, stream: Optional[TextIO] = None,
-                 prefix: str = "[distrib] ") -> None:
+                 prefix: str = "[distrib] ",
+                 width: Optional[int] = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.prefix = prefix
+        self.width = width
         self._last: Optional[str] = None
 
+    def _limit(self) -> int:
+        """Columns available, or 0 for unlimited."""
+        if self.width is not None:
+            return max(0, int(self.width))
+        try:
+            if not self.stream.isatty():
+                return 0
+        except (AttributeError, OSError, ValueError):
+            return 0
+        return shutil.get_terminal_size().columns
+
     def __call__(self, snapshot: ProgressSnapshot) -> None:
-        line = snapshot.format()
+        line = f"{self.prefix}{snapshot.format()}"
+        limit = self._limit()
+        if limit > 0 and len(line) > limit:
+            line = line[:max(1, limit - 1)] + "…"
         if line == self._last:
             return
         self._last = line
         try:
-            self.stream.write(f"{self.prefix}{line}\n")
+            self.stream.write(f"{line}\n")
             self.stream.flush()
         except (OSError, ValueError):  # closed stream: progress is best-effort
             pass

@@ -8,11 +8,12 @@ Every message is a plain tuple whose first element is a string tag:
 direction    message                                                   why
 ============ ========================================================= ====
 client→broker ``("hello", role, fingerprint, info)``                   join
-broker→client ``("welcome", client_id, broker_fingerprint)``           ack
+broker→client ``("welcome", client_id, broker_fingerprint, meta)``     ack
 broker→client ``("reject", reason)``                                   refuse
 driver→broker ``("submit", sweep_id, [(seq, chunk_key, job), …])``     jobs in
 driver→broker ``("bye",)``                                             detach
 broker→worker ``("jobs", chunk_id, [(tag, job), …])``                  assign
+broker→worker ``("cancel", chunk_id)``                                 stop chunk
 worker→broker ``("ready",)`` / ``("heartbeat",)``                      liveness
 worker→broker ``("result", chunk_id, [(tag, value), …])``              jobs out
 worker→broker ``("error", chunk_id, traceback_text)``                  job raised
@@ -31,6 +32,15 @@ recomputing them.  The job ``tag`` a worker echoes back is
 ``(sweep_id, seq)``.  A ``bye`` is the clean goodbye: it tells the broker
 the driver is leaving *on purpose*, so unfinished sweeps are abandoned
 rather than kept waiting for a reattach.
+
+The ``welcome`` *meta* dict (protocol 3) carries broker configuration a
+peer should adapt to — today ``protocol`` and ``heartbeat_timeout``, from
+which workers derive their heartbeat send interval instead of using a
+hardcoded cadence.  A ``cancel`` (protocol 3) tells a worker the named
+chunk settled elsewhere (a hedge lost its race): the worker aborts
+between jobs and replies with a normal ``result`` carrying whatever
+prefix it finished — settlement is per-job and idempotent, so a partial
+result is always safe.
 
 ``role`` is ``"worker"`` or ``"driver"``; both are rejected when their code
 fingerprint (:func:`repro.runner.cache.code_fingerprint`) differs from the
@@ -66,7 +76,7 @@ __all__ = [
     "chunk_jobs",
 ]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 # Shared secret for the connection-level HMAC handshake.  This
 # authenticates peers (a stray process cannot join the pool by accident);

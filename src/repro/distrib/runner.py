@@ -106,8 +106,18 @@ class DistributedRunner(ParallelRunner):
     max_retries:
         Chunk retry budget before jobs surface as structured failures
         (embedded broker only; an external broker keeps its own).
+    max_hedges_per_chunk:
+        Duplicate-dispatch budget per job for the embedded broker's
+        hedging of tail chunks stuck on slow workers; ``0`` disables.
     heartbeat_interval / heartbeat_timeout:
         Worker liveness cadence.  The timeout defaults to 5× the interval.
+        Spawned workers additionally derive their own cadence from the
+        broker's advertised timeout at join time, so these two can no
+        longer be configured into a self-reaping cluster.
+    join_timeout:
+        Seconds :meth:`_ensure_cluster` waits for the full spawned-worker
+        complement before failing the run; raise it when workers join
+        through slow links (e.g. a shaping proxy).
     worker_cache_dir:
         Passed to spawned workers as ``--cache-dir`` so they short-circuit
         repeats through a shared on-disk cache.
@@ -136,6 +146,7 @@ class DistributedRunner(ParallelRunner):
         progress: Optional[Callable[[ProgressSnapshot], None]] = None,
         authkey: Optional[str] = None,
         max_retries: int = 2,
+        max_hedges_per_chunk: int = 1,
         heartbeat_interval: float = 2.0,
         heartbeat_timeout: Optional[float] = None,
         worker_cache_dir: Optional[str] = None,
@@ -143,11 +154,13 @@ class DistributedRunner(ParallelRunner):
         reconnect_attempts: int = 8,
         reconnect_delay: float = 0.5,
         journal_dir: Optional[str] = None,
+        join_timeout: float = 60.0,
     ) -> None:
         super().__init__(jobs=max(1, int(workers)), cache=cache)
         self.workers = max(1, int(workers))
         self.progress = progress
         self.max_retries = max_retries
+        self.max_hedges_per_chunk = max(0, int(max_hedges_per_chunk))
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = (
             heartbeat_timeout
@@ -159,6 +172,7 @@ class DistributedRunner(ParallelRunner):
         self.reconnect_attempts = max(0, int(reconnect_attempts))
         self.reconnect_delay = reconnect_delay
         self.journal_dir = journal_dir
+        self.join_timeout = float(join_timeout)
         self._authkey = authkey_from_env(authkey)
         self._external = parse_address(broker) if broker else None
         self._broker: Optional[Broker] = None
@@ -166,6 +180,7 @@ class DistributedRunner(ParallelRunner):
         self._relays: List[threading.Thread] = []
         self._atexit_registered = False
         self.retries_observed = 0
+        self.hedges_observed = 0
 
     # ------------------------------------------------------------------
     # cluster lifecycle
@@ -197,6 +212,7 @@ class DistributedRunner(ParallelRunner):
             heartbeat_timeout=self.heartbeat_timeout,
             max_retries=self.max_retries,
             journal_dir=self.journal_dir,
+            max_hedges_per_chunk=self.max_hedges_per_chunk,
         ).start()
         if not self._atexit_registered:
             atexit.register(self.close)
@@ -247,8 +263,12 @@ class DistributedRunner(ParallelRunner):
                    for _ in range(max(0, self.workers - alive))]
         # wait for the *full* complement, not just one: a worker that
         # crashes on spawn must fail the run loudly, not silently run the
-        # sweep at a fraction of the requested parallelism
-        deadline = time.monotonic() + 60.0
+        # sweep at a fraction of the requested parallelism.  The deadline
+        # is generous and configurable (join_timeout) because a slow join
+        # is not a failed join — workers connecting through a high-latency
+        # path (shaping proxy, WAN) retry the handshake within their own
+        # budget, and only a worker that *exited* is proof of failure.
+        deadline = time.monotonic() + self.join_timeout
         while time.monotonic() < deadline:
             if broker.worker_count() >= self.workers:
                 return
@@ -374,6 +394,9 @@ class DistributedRunner(ParallelRunner):
                         snapshot = ProgressSnapshot.from_dict(message[1])
                         self.retries_observed = max(
                             self.retries_observed, snapshot.retries
+                        )
+                        self.hedges_observed = max(
+                            self.hedges_observed, snapshot.hedges
                         )
                         if self.progress is not None:
                             self.progress(snapshot)

@@ -1,0 +1,397 @@
+"""Deterministic link shaping: a frame-aware TCP relay for degraded links.
+
+The distributed backend survives *severed* links (worker death, broker
+bounce, partitions — see ``broker.py``).  This module supplies the other
+half of the fault model: links that are merely *bad*.  ``ShapingProxy``
+sits between any two peers — typically in front of the broker, so every
+worker connecting through it sees a degraded path — and applies a
+per-direction :class:`LinkShape`:
+
+* fixed **latency** plus seeded uniform **jitter** per message,
+* a **bandwidth** throttle (bytes/second, serialized per direction),
+* a bounded **reordering window** (whole messages swap places, never
+  byte streams),
+* **stutter windows**: with probability ``stutter_rate`` per message the
+  link freezes for ``stutter_duration`` — and because stalls advance a
+  shared busy-watermark, everything behind the stutter queues up instead
+  of pipelining past it, which is what creates the realistic heartbeat
+  gaps the suspicion machinery must tolerate.
+
+Every random draw comes from a ``random.Random`` seeded from the proxy
+seed and the connection index, so a shaped run is exactly reproducible:
+same seed, same traffic, same delivery order.
+
+The relay is *frame-aware*: it parses whole ``multiprocessing.connection``
+messages (4-byte ``!i`` big-endian length header; ``-1`` sentinel plus an
+8-byte ``!Q`` for large payloads) and delays/reorders only complete
+frames.  TCP cannot reorder bytes, so reordering raw stream slices would
+just corrupt the pickle stream; reordering whole messages models what a
+lossy-link retransmission schedule actually does to message arrival
+order.  The HMAC handshake is safe under reordering because it is a
+strict request-response exchange — at most one frame is ever in flight,
+so the reorder buffer never holds two handshake messages at once.
+
+Used as a pytest fixture (``tests/test_distrib_shaping.py``,
+``tests/test_distrib_chaos.py``) and from the CLI::
+
+    python -m repro shape --listen 127.0.0.1:7070 \
+        --upstream 127.0.0.1:7077 --latency-ms 500 --jitter-ms 200 \
+        --stutter-rate 0.05 --stutter-ms 250 --seed 1
+
+Everything here is stdlib-only, like the rest of ``repro.distrib``.
+"""
+
+from __future__ import annotations
+
+import random
+import select
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+__all__ = ["LinkShape", "LinkScheduler", "ReorderBuffer", "ShapingProxy"]
+
+
+@dataclass(frozen=True)
+class LinkShape:
+    """One direction's degradation profile.  Times in seconds.
+
+    ``bandwidth`` is bytes/second (``None`` = unthrottled);
+    ``reorder_window`` bounds how far any message may be displaced from
+    its send order, in either direction; ``stutter_rate`` is the
+    per-message probability that the link freezes for
+    ``stutter_duration`` before that message (and everything queued
+    behind it) moves.
+    """
+
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: Optional[float] = None
+    reorder_window: int = 0
+    stutter_rate: float = 0.0
+    stutter_duration: float = 0.0
+
+
+class LinkScheduler:
+    """Turns a :class:`LinkShape` into per-message delays, deterministically.
+
+    Pure given ``(shape, seed)`` and the call sequence: no wall-clock
+    reads, no global randomness — the unit tests drive it with synthetic
+    ``now`` values and assert exact arithmetic.
+
+    Bandwidth and stutter share one ``_busy_until`` watermark: each
+    message occupies the link for its transmit time plus any stutter it
+    triggered, and later messages cannot start before the watermark.
+    That serialization is the point — a frozen link must gap *all*
+    subsequent arrivals (heartbeats included), not just the message that
+    hit the stutter.
+    """
+
+    def __init__(self, shape: LinkShape, seed: int) -> None:
+        self.shape = shape
+        self._rng = random.Random(seed)
+        self._busy_until = 0.0
+
+    def delay(self, now: float, nbytes: int) -> float:
+        """Seconds to hold a message of *nbytes* handed to the link at *now*."""
+        shape = self.shape
+        wait = shape.latency
+        if shape.jitter > 0.0:
+            wait += self._rng.uniform(-shape.jitter, shape.jitter)
+        wait = max(0.0, wait)
+        start = max(now, self._busy_until)
+        transmit = nbytes / shape.bandwidth if shape.bandwidth else 0.0
+        stall = 0.0
+        if shape.stutter_rate > 0.0 and self._rng.random() < shape.stutter_rate:
+            stall = shape.stutter_duration
+        self._busy_until = start + transmit + stall
+        return wait + (start - now) + transmit + stall
+
+
+class ReorderBuffer:
+    """A bounded-displacement reordering queue over whole messages.
+
+    ``pop`` picks a seeded-random element from the first ``window + 1``
+    held messages, except that a message already passed over ``window``
+    times is forced out next — so no message is displaced more than
+    ``window`` positions from its push order, in either direction.
+    ``window == 0`` degenerates to exact FIFO (no RNG draws at all), so
+    an unshaped direction stays bit-for-bit transparent.
+    """
+
+    def __init__(self, window: int, seed: int) -> None:
+        self.window = max(0, int(window))
+        self._rng = random.Random(seed)
+        self._held: List[bytes] = []
+        self._passes: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._held)
+
+    def push(self, frame: bytes) -> None:
+        self._held.append(frame)
+        self._passes.append(0)
+
+    def pop(self) -> bytes:
+        if not self._held:
+            raise IndexError("pop from an empty ReorderBuffer")
+        index = 0
+        eligible = min(len(self._held), self.window + 1)
+        if self.window > 0 and eligible > 1 and self._passes[0] < self.window:
+            index = self._rng.randrange(eligible)
+        frame = self._held.pop(index)
+        del self._passes[index]
+        for i in range(index):
+            self._passes[i] += 1
+        return frame
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly *count* bytes from *sock*, or ``None`` on EOF/error."""
+    chunks: List[bytes] = []
+    got = 0
+    while got < count:
+        try:
+            piece = sock.recv(count - got)
+        except OSError:
+            return None
+        if not piece:
+            return None
+        chunks.append(piece)
+        got += len(piece)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[bytes]:
+    """One complete ``multiprocessing.connection`` frame, header included.
+
+    Returns the raw header+payload bytes (ready to forward verbatim), or
+    ``None`` on clean EOF, a socket error, or an unrecognized header —
+    all of which the relay treats as end-of-direction.
+    """
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (size,) = struct.unpack("!i", header)
+    if size == -1:
+        long_header = _recv_exact(sock, 8)
+        if long_header is None:
+            return None
+        (big,) = struct.unpack("!Q", long_header)
+        payload = _recv_exact(sock, big)
+        return None if payload is None else header + long_header + payload
+    if size < 0:
+        return None
+    if size == 0:
+        return header
+    payload = _recv_exact(sock, size)
+    return None if payload is None else header + payload
+
+
+def _readable(sock: socket.socket) -> bool:
+    try:
+        ready, _, _ = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return False
+    return bool(ready)
+
+
+class ShapingProxy:
+    """A TCP relay applying a :class:`LinkShape` between two endpoints.
+
+    Listens on *listen* (default: an ephemeral local port, read it back
+    from ``.address``) and forwards every accepted connection to
+    *upstream*.  *shape* applies client→upstream; *downstream_shape*
+    (default: the same shape) applies upstream→client.  Per-connection
+    RNG seeds are derived from ``(seed, connection index)``, so a test
+    that connects in a fixed order gets a fixed shaped schedule.
+
+    ``_clock`` and ``_sleep`` are injectable for unit tests that want to
+    exercise scheduling without real waiting.
+    """
+
+    def __init__(
+        self,
+        upstream: Union[Tuple[str, int], str],
+        shape: LinkShape = LinkShape(),
+        downstream_shape: Optional[LinkShape] = None,
+        listen: Union[Tuple[str, int], str] = ("127.0.0.1", 0),
+        seed: int = 0,
+    ) -> None:
+        self.upstream = _as_address(upstream)
+        self.shape = shape
+        self.downstream_shape = downstream_shape if downstream_shape is not None else shape
+        self.seed = int(seed)
+        self._clock: Callable[[], float] = time.monotonic
+        self._sleep: Callable[[float], None] = time.sleep
+        self._lock = threading.Lock()
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._accepted = 0
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(_as_address(listen))
+        server.listen(16)
+        self._server = server
+        self.address: Tuple[str, int] = server.getsockname()[:2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ShapingProxy":
+        thread = threading.Thread(
+            target=self._accept_loop, name="repro-shape-accept", daemon=True)
+        thread.start()
+        with self._lock:
+            self._threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Run until ``close()`` (or KeyboardInterrupt in the CLI)."""
+        self.start()
+        while not self._closed:
+            time.sleep(0.2)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+            self._conns.clear()
+            threads = list(self._threads)
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        for sock in conns:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for thread in threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ShapingProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _addr = self._server.accept()
+            except OSError:
+                return
+            index = self._accepted
+            self._accepted += 1
+            thread = threading.Thread(
+                target=self._serve, args=(client, index),
+                name=f"repro-shape-conn-{index}", daemon=True)
+            thread.start()
+            with self._lock:
+                self._threads.append(thread)
+
+    def _lanes(self, index: int) -> Tuple[LinkScheduler, ReorderBuffer,
+                                          LinkScheduler, ReorderBuffer]:
+        """Deterministic per-connection schedulers: 4 independent lanes."""
+        base = self.seed * 1_000_003 + index * 31
+        return (
+            LinkScheduler(self.shape, base + 0),
+            ReorderBuffer(self.shape.reorder_window, base + 1),
+            LinkScheduler(self.downstream_shape, base + 2),
+            ReorderBuffer(self.downstream_shape.reorder_window, base + 3),
+        )
+
+    def _serve(self, client: socket.socket, index: int) -> None:
+        try:
+            up = socket.create_connection(self.upstream, timeout=30.0)
+        except OSError:
+            try:
+                client.close()
+            except OSError:
+                pass
+            return
+        up.settimeout(None)
+        with self._lock:
+            if self._closed:
+                for sock in (client, up):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                return
+            self._conns.extend((client, up))
+        up_sched, up_buf, down_sched, down_buf = self._lanes(index)
+        pumps = [
+            threading.Thread(target=self._relay, args=(client, up, up_sched, up_buf),
+                             name=f"repro-shape-up-{index}", daemon=True),
+            threading.Thread(target=self._relay, args=(up, client, down_sched, down_buf),
+                             name=f"repro-shape-down-{index}", daemon=True),
+        ]
+        for pump in pumps:
+            pump.start()
+        for pump in pumps:
+            pump.join()
+        for sock in (client, up):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _relay(self, src: socket.socket, dst: socket.socket,
+               scheduler: LinkScheduler, buffered: ReorderBuffer) -> None:
+        """Pump whole frames src→dst through the shaped schedule.
+
+        Keeps at most ``window + 1`` frames buffered: enough for the
+        reorder draw, small enough that backpressure still reaches the
+        sender.  On EOF the buffer drains (late frames still delivered),
+        then both sockets are shut down so the peer sees a clean
+        disconnect rather than a half-open link.
+        """
+        window = buffered.window
+        eof = False
+        try:
+            while True:
+                if not eof and len(buffered) == 0:
+                    frame = read_frame(src)
+                    if frame is None:
+                        eof = True
+                    else:
+                        buffered.push(frame)
+                while not eof and len(buffered) <= window and _readable(src):
+                    frame = read_frame(src)
+                    if frame is None:
+                        eof = True
+                    else:
+                        buffered.push(frame)
+                if len(buffered) == 0:
+                    return
+                frame = buffered.pop()
+                wait = scheduler.delay(self._clock(), len(frame))
+                if wait > 0.0:
+                    self._sleep(wait)
+                dst.sendall(frame)
+        except OSError:
+            pass
+        finally:
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+
+def _as_address(value: Union[Tuple[str, int], str]) -> Tuple[str, int]:
+    """Accept ``(host, port)`` or ``"host:port"`` uniformly."""
+    if isinstance(value, str):
+        from .protocol import parse_address
+        return parse_address(value)
+    host, port = value
+    return str(host), int(port)

@@ -26,6 +26,19 @@ Fault-injection hooks (used by the test suite, harmless otherwise):
   receiving the Nth chunk, before executing it: a mid-job crash.
 * ``REPRO_WORKER_FREEZE_AFTER_CHUNKS=N`` — on the Nth chunk, stop
   heartbeating and hang without executing: a partitioned/hung worker.
+* ``REPRO_WORKER_FORCE_HEARTBEAT=SECONDS`` — pin the heartbeat interval,
+  bypassing the broker-advertised derivation below: a worker that beats
+  slowly enough to look *suspect* but never dead.
+* ``REPRO_WORKER_SLOW_CHUNK_SECONDS=SECONDS`` — sleep this long before
+  executing each chunk (abortable by a broker ``cancel``): a degraded
+  worker whose chunks linger until hedging rescues them.
+
+Heartbeat cadence is *derived*, not guessed: the broker's welcome
+advertises its ``heartbeat_timeout`` (protocol 3) and the worker beats at
+least four times per timeout, so a broker constructed with a short
+timeout for tests can never race its own workers' heartbeat cadence.
+A broker ``cancel`` for the chunk being executed aborts it between jobs
+and returns the completed prefix as a normal partial result.
 """
 
 from __future__ import annotations
@@ -45,16 +58,24 @@ from .protocol import authkey_from_env, parse_address
 __all__ = ["worker_main", "execute_chunk"]
 
 
-def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> List[tuple]:
+def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None,
+                  should_abort: Optional[Callable[[], bool]] = None) -> List[tuple]:
     """Run one ``[(tag, job), …]`` chunk; returns ``[(tag, value), …]``.
 
     Jobs sharing a prepared artifact execute through their type's
     ``run_chunk`` (one artifact build, one replay pass) when the whole
     chunk missed the cache; otherwise each job runs individually.  Cache
     hits skip execution, fresh results are published back.
+
+    *should_abort* is polled between jobs (a broker ``cancel``: the chunk
+    settled elsewhere).  On abort only the *completed* ``(tag, value)``
+    pairs are returned — never a placeholder for an unexecuted job, which
+    would settle as a real value and break byte-identity.  Per-job
+    settlement is idempotent, so a partial result is always safe to send.
     """
     jobs = [job for _tag, job in entries]
     values: List[object] = [None] * len(jobs)
+    completed: set = set()
     pending = list(range(len(jobs)))
     keys: List[Optional[str]] = [None] * len(jobs)
     if cache is not None:
@@ -69,10 +90,11 @@ def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> 
             hit, value = cache.get(cache_key)
             if hit:
                 values[i] = value
+                completed.add(i)
             else:
                 still.append(i)
         pending = still
-    if pending:
+    if pending and not (should_abort is not None and should_abort()):
         first = type(jobs[pending[0]])
         run_chunk = getattr(first, "run_chunk", None)
         chunkable = (
@@ -81,18 +103,25 @@ def execute_chunk(entries: List[tuple], cache: Optional[ResultCache] = None) -> 
             and all(type(jobs[i]) is first for i in pending)
         )
         if chunkable:
+            # one shared artifact, one replay pass: all-or-nothing, so the
+            # abort check above is the last one before the work happens
             fresh = jobs[pending[0]].run_chunk([jobs[i] for i in pending])
             for i, value in zip(pending, fresh):
                 values[i] = value
+                completed.add(i)
         else:
             for i in pending:
+                if should_abort is not None and should_abort():
+                    break
                 values[i] = jobs[i].run()
+                completed.add(i)
         if cache is not None:
             for i in pending:
                 cache_key = keys[i]
-                if cache_key is not None:
+                if cache_key is not None and i in completed:
                     cache.put(cache_key, values[i])
-    return [(tag, value) for (tag, _job), value in zip(entries, values)]
+    return [(tag, values[i])
+            for i, (tag, _job) in enumerate(entries) if i in completed]
 
 
 def worker_main(
@@ -115,9 +144,16 @@ def worker_main(
     byte-identical.  The failure counter resets on every successful join,
     so a broker that bounces daily never exhausts the budget.
 
+    The *first* connect gets the same retry budget: on a degraded link —
+    SYN losses, a broker a second away through a shaping proxy, a race
+    with the broker's own startup — the initial attempt failing once says
+    nothing, so bailing out immediately (as this used to) misclassified a
+    slow join as an unreachable broker.  A *rejection* (fingerprint
+    mismatch) still exits immediately: that is a verdict, not an outage.
+
     Exit codes: ``0`` broker gone after the reconnect budget (or asked us
-    to shut down), ``2`` never managed a first connect, ``3`` rejected
-    (fingerprint mismatch).
+    to shut down), ``2`` never managed any connect within the budget,
+    ``3`` rejected (fingerprint mismatch).
     """
     address: Tuple[str, int] = parse_address(connect)
     # embedded workers get an empty prefix: the driver's stderr relay
@@ -145,23 +181,27 @@ def worker_main(
                        {"pid": os.getpid(), "host": socket.gethostname()}))
             reply = conn.recv()
         except Exception as exc:
-            if not joined_once:
-                say(f"cannot connect to broker at {connect}: {exc}")
-                return 2
             failures += 1
             if failures > reconnects:
+                if not joined_once:
+                    say(f"cannot connect to broker at {connect} after "
+                        f"{reconnects} attempt(s): {exc}")
+                    return 2
                 say(f"broker at {connect} still gone after {reconnects} "
                     f"reconnect attempt(s); exiting")
                 return 0
             delay = min(5.0, 0.25 * (2 ** (failures - 1)))
-            say(f"broker away ({type(exc).__name__}); "
-                f"reconnect {failures}/{reconnects} in {delay:.2g}s")
+            say(f"broker {'away' if joined_once else 'not reachable yet'} "
+                f"({type(exc).__name__}); "
+                f"attempt {failures}/{reconnects} in {delay:.2g}s")
             time.sleep(delay)
             continue
         if reply[0] == "reject":
             say(f"rejected by broker at {connect}: {reply[1]}")
             return 3
         worker_id = reply[1]
+        meta = reply[3] if len(reply) > 3 and isinstance(reply[3], dict) else {}
+        interval = _heartbeat_interval(heartbeat, meta)
         joined_once = True
         failures = 0
         say(f"joined broker at {connect} as worker {worker_id}")
@@ -170,8 +210,9 @@ def worker_main(
         stop_beating = threading.Event()
 
         def beat(conn: Connection = conn, send_lock: Any = send_lock,
-                 stop: threading.Event = stop_beating) -> None:
-            while not stop.wait(heartbeat):
+                 stop: threading.Event = stop_beating,
+                 interval: float = interval) -> None:
+            while not stop.wait(interval):
                 try:
                     with send_lock:
                         conn.send(("heartbeat",))
@@ -196,6 +237,27 @@ def worker_main(
         say("broker connection lost; attempting to reconnect")
 
 
+def _heartbeat_interval(requested: float, meta: dict) -> float:
+    """The effective heartbeat send interval for one connection.
+
+    Derived from the broker's advertised ``heartbeat_timeout`` (protocol
+    3 welcome metadata): beat at least four times per timeout, so a
+    broker constructed with a short timeout — tests, aggressive
+    deployments — can never race its own workers' cadence.  The CLI's
+    ``--heartbeat`` still lowers it further.  ``REPRO_WORKER_FORCE_HEARTBEAT``
+    (fault injection) overrides everything; the suite uses it to build a
+    worker that is deliberately slow-but-alive.
+    """
+    forced = os.environ.get("REPRO_WORKER_FORCE_HEARTBEAT")
+    if forced:
+        return max(0.05, float(forced))
+    interval = float(requested)
+    advertised = float(meta.get("heartbeat_timeout") or 0.0)
+    if advertised > 0.0:
+        interval = min(interval, advertised / 4.0)
+    return max(0.05, interval)
+
+
 def _serve_connection(conn: Connection, send_lock: Any,
                       stop_beating: threading.Event,
                       say: Callable[..., None],
@@ -206,23 +268,35 @@ def _serve_connection(conn: Connection, send_lock: Any,
     Returns ``(chunks_seen, done)`` — *done* is True only for a clean
     shutdown request; a dead connection returns False so the caller's
     reconnect loop takes over.
+
+    A broker ``cancel`` naming the chunk currently executing aborts it
+    between jobs; the completed prefix goes back as a normal (partial)
+    result.  The abort poll drains the connection without blocking, so
+    any other message that arrives mid-chunk — a stale cancel, a
+    shutdown — is queued in *inbox* and handled by the main loop.
     """
+    slow_chunk = float(
+        os.environ.get("REPRO_WORKER_SLOW_CHUNK_SECONDS", "0") or 0)
     try:
         with send_lock:
             conn.send(("ready",))
     except (OSError, ValueError):
         return chunks_seen, False
+    inbox: List[tuple] = []
     while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return chunks_seen, False
+        if inbox:
+            message = inbox.pop(0)
+        else:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return chunks_seen, False
         tag = message[0]
         if tag == "shutdown":
             say("broker asked us to shut down")
             return chunks_seen, True
         if tag != "jobs":
-            continue
+            continue  # cancels for chunks we no longer hold land here
         _, chunk_id, entries = message
         chunks_seen += 1
         if die_after and chunks_seen >= die_after:
@@ -231,8 +305,32 @@ def _serve_connection(conn: Connection, send_lock: Any,
             stop_beating.set()  # fault injection: go silent, hang forever
             while True:
                 time.sleep(60)
+        cancelled = False
+
+        def should_abort(chunk_id: int = chunk_id) -> bool:
+            """Between-jobs poll for a broker cancel; cheap, non-blocking."""
+            nonlocal cancelled
+            try:
+                while not cancelled and conn.poll(0):
+                    peeked = conn.recv()
+                    if peeked[0] == "cancel":
+                        if peeked[1] == chunk_id:
+                            cancelled = True
+                        # a cancel for some other chunk is stale: drop it
+                    else:
+                        inbox.append(peeked)
+            except (EOFError, OSError):
+                cancelled = True  # connection gone: stop burning cycles
+            return cancelled
+
+        if slow_chunk > 0:
+            # fault injection: a degraded worker — alive and heartbeating,
+            # but taking forever per chunk; abortable so a cancel frees it
+            deadline = time.monotonic() + slow_chunk
+            while time.monotonic() < deadline and not should_abort():
+                time.sleep(0.05)
         try:
-            results = execute_chunk(entries, cache)
+            results = execute_chunk(entries, cache, should_abort)
         except BaseException:
             trace = traceback.format_exc()
             say(f"chunk {chunk_id} raised:\n{trace}")
@@ -242,6 +340,9 @@ def _serve_connection(conn: Connection, send_lock: Any,
             except (OSError, ValueError):
                 return chunks_seen, False
         else:
+            if cancelled and len(results) < len(entries):
+                say(f"chunk {chunk_id} cancelled by broker "
+                    f"({len(results)}/{len(entries)} jobs already done)")
             try:
                 with send_lock:
                     # a large result can hold the send lock past several

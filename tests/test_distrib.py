@@ -166,6 +166,50 @@ class TestProgress:
         assert len(lines) == 2
         assert lines[0].startswith("[distrib] ")
 
+    def test_format_health_and_hedges(self):
+        snap = ProgressSnapshot.from_dict(
+            {"total": 4, "done": 2, "running": 1, "queued": 1,
+             "workers": 3, "hedges": 2,
+             "worker_health": [(2, "ok"), (3, "slow"), (5, "dead")]})
+        line = snap.format()
+        assert "hedges 2" in line
+        assert "w3:slow" in line and "w5:dead" in line
+        assert "w2" not in line, "healthy workers must not cost line width"
+        # all-ok clusters stay exactly as terse as before
+        quiet = ProgressSnapshot(total=4, done=4, workers=2,
+                                 worker_health=((1, "ok"), (2, "ok")))
+        assert "[" not in quiet.format() and "hedges" not in quiet.format()
+
+    def test_printer_truncates_instead_of_wrapping(self):
+        import io
+
+        sink = io.StringIO()
+        printer = ProgressPrinter(stream=sink, width=40)
+        busy = ProgressSnapshot(
+            total=100, done=42, running=9, queued=49, workers=9, hedges=3,
+            worker_health=tuple((i, "slow") for i in range(1, 10)))
+        printer(busy)
+        [line] = sink.getvalue().splitlines()
+        assert len(line) == 40
+        assert line.endswith("…")
+        # two snapshots identical after truncation print once
+        printer(ProgressSnapshot(
+            total=100, done=42, running=9, queued=49, workers=9, hedges=3,
+            worker_health=tuple((i, "slow") for i in range(1, 11))))
+        assert len(sink.getvalue().splitlines()) == 1
+
+    def test_printer_unlimited_when_not_a_tty(self):
+        import io
+
+        sink = io.StringIO()  # isatty() is False: redirected-log behavior
+        printer = ProgressPrinter(stream=sink)
+        busy = ProgressSnapshot(
+            total=100, done=42, running=9, queued=49, workers=9,
+            worker_health=tuple((i, "slow") for i in range(1, 40)))
+        printer(busy)
+        [line] = sink.getvalue().splitlines()
+        assert line.endswith("]") and "…" not in line
+
 
 class TestWorkerStderrRelay:
     """Regression: embedded worker stderr must not tear progress lines.
@@ -348,9 +392,13 @@ class TestFaultTolerance:
     def test_hung_worker_detected_by_heartbeat_and_requeued(
             self, jobs, serial_blobs):
         """A worker that goes silent (no crash, no EOF) is declared dead
-        once heartbeats stop and its chunk reruns elsewhere."""
+        once heartbeats stop and its chunk reruns elsewhere.  Hedging is
+        pinned off so the death/requeue path itself is what completes the
+        sweep (with hedges on, a duplicate dispatch would usually rescue
+        the chunk before the reaper fires — that path has its own tests)."""
         runner = DistributedRunner(workers=2, heartbeat_interval=0.3,
                                    heartbeat_timeout=2.0,
+                                   max_hedges_per_chunk=0,
                                    poll_timeout=POLL_TIMEOUT)
         try:
             runner.spawn_worker(

@@ -9,6 +9,13 @@ directory) must complete the sweep with output byte-identical to the
 serial backend, the driver riding out the outage through
 reconnect-with-backoff and the workers rejoining on their own.
 
+The shaped-network classes cover the *degraded* (not severed) half of the
+fault model: workers joining and heartbeating through a
+:class:`~repro.distrib.shaping.ShapingProxy` with half-second latency,
+jitter, and stutter freezes must never be falsely reaped, and a sweep
+whose tail chunk lands on a pathologically slow worker must finish via a
+hedged duplicate — byte-identical to serial in both cases.
+
 Scale is 0.01 by default; the CI ``chaos-soak`` lane raises it via
 ``REPRO_CHAOS_SCALE=0.02`` for a longer mid-sweep window.
 """
@@ -25,7 +32,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.distrib import DistributedRunner
+from repro.distrib import DistributedRunner, LinkShape, ShapingProxy
 from repro.experiments.config import ExperimentConfig
 from repro.runner import JobSpec, ParallelRunner
 
@@ -191,6 +198,72 @@ class TestBrokerBounce:
             assert [pickle.dumps(r) for r in results] == serial_blobs
         finally:
             _reap(state["broker"], *workers)
+
+
+class TestShapedNetwork:
+    def test_shaped_links_no_false_deaths_byte_identical(
+        self, tmp_path, jobs, serial_blobs
+    ):
+        """Workers joined through a 500 ms ± 200 ms link with 5% stutter
+        freezes are *slow*, never *dead*: the sweep must complete with
+        zero retries (a retry here could only come from a false-positive
+        reap of a responsive worker) and byte-identical output."""
+        port = _free_port()
+        journal_dir = str(tmp_path / "journal")
+        broker = _spawn_broker(port, journal_dir)
+        shape = LinkShape(latency=0.5, jitter=0.2,
+                          stutter_rate=0.05, stutter_duration=0.25)
+        proxy = ShapingProxy(upstream=("127.0.0.1", port), shape=shape,
+                             seed=42).start()
+        workers = [_spawn_worker(proxy.address[1]) for _ in range(2)]
+        runner = DistributedRunner(
+            broker=f"127.0.0.1:{port}",  # only the workers ride the bad link
+            poll_timeout=POLL_TIMEOUT,
+            reconnect_attempts=40,
+            reconnect_delay=0.25,
+        )
+        try:
+            results = runner.run(jobs)
+            assert [pickle.dumps(r) for r in results] == serial_blobs
+            assert runner.retries_observed == 0, (
+                "a shaped-but-responsive worker was reaped as dead"
+            )
+        finally:
+            proxy.close()
+            _reap(broker, *workers)
+
+    def test_degraded_worker_tail_completes_via_hedge(
+        self, jobs, serial_blobs
+    ):
+        """One worker 20×-degraded (3 s heartbeats against a 4 s timeout,
+        20 s per chunk): the tail chunk it sits on must finish through a
+        hedged duplicate on a healthy worker — not by waiting out the
+        slow worker, not by declaring it dead."""
+        runner = DistributedRunner(workers=3, heartbeat_interval=0.5,
+                                   heartbeat_timeout=4.0,
+                                   poll_timeout=POLL_TIMEOUT)
+        try:
+            # joins first => lowest worker id => first dispatch picks it
+            runner.spawn_worker(extra_env={
+                "REPRO_WORKER_FORCE_HEARTBEAT": "3.0",
+                "REPRO_WORKER_SLOW_CHUNK_SECONDS": "20",
+            })
+            assert runner.wait_for_workers(1, timeout=60)
+            runner.spawn_worker()
+            runner.spawn_worker()
+            assert runner.wait_for_workers(3, timeout=60)
+            results = runner.run(jobs)
+            assert [pickle.dumps(r) for r in results] == serial_blobs
+            assert runner.hedges_observed >= 1, (
+                "the sweep finished without hedging — the slow-worker "
+                "tail scenario was not exercised"
+            )
+            assert runner.retries_observed == 0, (
+                "a slow-but-alive worker was reaped (hedges must rescue "
+                "the tail without any death/retry)"
+            )
+        finally:
+            runner.close()
 
 
 class TestDriverReconnect:

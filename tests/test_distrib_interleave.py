@@ -322,6 +322,189 @@ class TestJournalRecovery:
         assert rec.settled == {0: ("result", COMPUTE(0))}
 
 
+class TestSuspicionAndHedging:
+    """Adaptive liveness: slow → suspect → recovered, and hedged tails.
+
+    All timings run on the harness clock, so every threshold crossing is
+    exact: with ``heartbeat_timeout=10`` the suspicion band is clamped to
+    ``[2.5, 5.0]`` and death stays at 10.
+    """
+
+    def _beat_cadence(self, h, worker, period, beats):
+        """Establish a regular heartbeat rhythm (trains the EWMA)."""
+        for _ in range(beats):
+            h.tick(period)
+            h.heartbeat(worker)
+
+    def test_slow_worker_becomes_suspect_then_recovers_without_requeue(self):
+        h = BrokerHarness(heartbeat_timeout=10.0)
+        driver = h.add_driver()
+        h.submit(driver, "s", [entry(0, "a")])
+        worker = h.add_worker()
+        # a crisp 2 s cadence: suspect_after ≈ mean + 4σ ≈ 2.8 s, well
+        # inside the [2.5, 5.0] clamp
+        self._beat_cadence(h, worker, period=2.0, beats=3)
+        _, chunk = h.dispatch()
+
+        h.tick(3.5)  # 3.5 s of silence: past suspicion, far from death
+        assert worker.id in h.suspects()
+        assert worker.alive, "suspicion must not kill the worker"
+        assert h.assignment(worker) is chunk, "suspicion requeued the chunk"
+        assert not h.pending()
+        # ... and the driver heard about it
+        _tag, snapshot = driver.conn.tagged("progress")[-1]
+        assert (worker.id, "slow") in snapshot["worker_health"]
+
+        # one heartbeat clears the suspicion (hysteresis, not a ratchet)
+        h.heartbeat(worker)
+        h.tick(0.1)
+        assert worker.id not in h.suspects()
+        assert h.assignment(worker) is chunk
+        _tag, snapshot = driver.conn.tagged("progress")[-1]
+        assert (worker.id, "ok") in snapshot["worker_health"]
+
+        # the recovered worker finishes normally: no retry ever happened
+        h.finish_assignment(worker, COMPUTE)
+        assert h.results_to(driver) == {0: COMPUTE(0)}
+        assert h.done_count(driver) == 1
+        assert snapshot["retries"] == 0
+        check_invariants(h)
+        h.close()
+
+    def test_dispatch_prefers_unsuspected_workers(self):
+        h = BrokerHarness(heartbeat_timeout=10.0)
+        driver = h.add_driver()
+        slow = h.add_worker()   # lower id: would win a naive min()
+        fast = h.add_worker()
+        h.tick(6.0)             # both silent past the 5.0 s ceiling...
+        h.heartbeat(fast)       # ...but only `fast` comes back
+        h.tick(0.1)
+        assert h.suspects() == {slow.id}
+        h.submit(driver, "s", [entry(0, "a")])
+        assigned_worker, _chunk = h.dispatch()
+        assert assigned_worker is fast
+        check_invariants(h)
+        h.close()
+
+    def test_tail_chunk_on_suspect_worker_is_hedged_first_result_wins(self):
+        h = BrokerHarness(heartbeat_timeout=10.0)
+        driver = h.add_driver()
+        h.submit(driver, "s", [entry(0, "a"), entry(1, "b")])
+        w1 = h.add_worker()
+        w2 = h.add_worker()
+        pairs = h.dispatch_all()
+        assert [(w.id, c.id) for w, c in pairs] == [
+            (w1.id, pairs[0][1].id), (w2.id, pairs[1][1].id)]
+        chunk2 = pairs[1][1]
+
+        # w1 completes its chunk after 1 s: per-chunk EWMA is now 1.0 s,
+        # so the hedge trigger sits at 3 s (hedge_factor 3.0)
+        h.tick(1.0)
+        h.finish_assignment(w1, COMPUTE)
+        h.worker_ready(w1)
+
+        # w2 goes silent while w1 keeps beating; at 6 s w2 is past the
+        # 5.0 s suspicion ceiling and chunk2 is 6 s ≥ 3 s overdue
+        h.tick(2.5)
+        h.heartbeat(w1)
+        h.tick(2.5)
+        assert w2.id in h.suspects() and w2.alive
+
+        # the tail chunk was hedged to the idle healthy worker
+        hedge = h.assignment(w1)
+        assert hedge is not None and hedge.id != chunk2.id
+        assert hedge.entries == chunk2.entries
+        assert h.broker._sweeps["s"].hedged == {1: 1}
+        _tag, snapshot = driver.conn.tagged("progress")[-1]
+        assert snapshot["hedges"] == 1
+
+        # the hedge wins: seq 1 settles, and the loser gets a cancel
+        h.finish_assignment(w1, COMPUTE)
+        assert w2.conn.tagged("cancel") == [("cancel", chunk2.id)]
+        assert h.done_count(driver) == 1
+
+        # w2's late original result is a duplicate, not a double delivery
+        h.worker_result(w2, chunk2.id, [
+            (("s", seq), COMPUTE(job)) for seq, job in chunk2.entries
+        ])
+        deliveries = [seq for _t, p in driver.conn.tagged("result")
+                      for seq, _v in p]
+        assert deliveries.count(1) == 1
+        assert h.results_to(driver) == {0: COMPUTE(0), 1: COMPUTE(1)}
+        _tag, snapshot = driver.conn.tagged("progress")[-1]
+        assert snapshot["retries"] == 0, "hedges must not count as retries"
+        check_invariants(h)
+        h.close()
+
+    def test_hedging_disabled_by_zero_cap(self):
+        h = BrokerHarness(heartbeat_timeout=10.0, max_hedges_per_chunk=0)
+        driver = h.add_driver()
+        h.submit(driver, "s", [entry(0, "a"), entry(1, "b")])
+        w1 = h.add_worker()
+        w2 = h.add_worker()
+        h.dispatch_all()
+        h.tick(1.0)
+        h.finish_assignment(w1, COMPUTE)
+        h.worker_ready(w1)
+        h.tick(2.5)
+        h.heartbeat(w1)
+        h.tick(2.5)
+        assert w2.id in h.suspects()
+        assert h.assignment(w1) is None, "cap 0 must disable hedging"
+        assert not h.broker._sweeps["s"].hedged
+        check_invariants(h)
+        h.close()
+
+    def test_hedge_budget_survives_broker_bounce(self, tmp_path):
+        jdir = str(tmp_path)
+        h = BrokerHarness(heartbeat_timeout=10.0, journal_dir=jdir)
+        driver = h.add_driver()
+        h.submit(driver, "s", [entry(0, "a"), entry(1, "b")])
+        w1 = h.add_worker()
+        w2 = h.add_worker()
+        pairs = h.dispatch_all()
+        chunk2 = pairs[1][1]
+        h.tick(1.0)
+        h.finish_assignment(w1, COMPUTE)
+        h.worker_ready(w1)
+        h.tick(2.5)
+        h.heartbeat(w1)
+        h.tick(2.5)
+        assert h.broker._sweeps["s"].hedged == {1: 1}  # hedge in flight
+        h.close()  # bounce with the hedge undecided
+
+        h2 = BrokerHarness(heartbeat_timeout=10.0, journal_dir=jdir)
+        sweep = h2.broker._sweeps["s"]
+        assert sweep.hedged == {1: 1}, "hedge budget lost across bounce"
+        assert sweep.hedges == 1
+        check_invariants(h2)
+
+        # replay the same slow-worker scenario: the budget is spent, so
+        # no second duplicate of seq 1 is ever dispatched
+        w3 = h2.add_worker()
+        w4 = h2.add_worker()
+        with h2.broker._lock:
+            sweep.chunk_ewma = 1.0  # recovered brokers re-learn durations
+        dispatched = h2.dispatch_all()
+        holder = dispatched[0][0]
+        spare = w4 if holder is w3 else w3
+        h2.worker_ready(spare)
+        h2.tick(6.0)
+        h2.heartbeat(spare)
+        h2.tick(0.1)
+        assert holder.id in h2.suspects()
+        assert h2.assignment(spare) is None, (
+            "hedge cap exceeded after journal recovery"
+        )
+        # the chunk still completes the boring way
+        h2.finish_assignment(holder, COMPUTE)
+        driver2 = h2.add_driver()
+        h2.submit(driver2, "s", [entry(0, "a"), entry(1, "b")])
+        assert h2.results_to(driver2) == {0: COMPUTE(0), 1: COMPUTE(1)}
+        check_invariants(h2)
+        h2.close()
+
+
 class TestRandomSchedules:
     """Seeded property test over the full transition vocabulary."""
 

@@ -1,0 +1,315 @@
+"""Tests for the deterministic link shaper (`repro.distrib.shaping`).
+
+Unit layer: the scheduler's delay arithmetic (latency, jitter bounds,
+bandwidth serialization, stutter watermarks), the reorder buffer's
+displacement bound, and the frame parser — all pure, no sockets, driven
+with synthetic clocks.  Integration layer: a real ``ShapingProxy`` in
+front of a ``multiprocessing.connection`` echo server (the handshake must
+survive shaping) and in front of a real broker, where the satellite
+regression lives: a worker joining over a 1-second-latency link is a slow
+join, not a failed one.
+"""
+
+import os
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import threading
+from multiprocessing.connection import Client, Listener
+from pathlib import Path
+
+import pytest
+
+from repro.distrib import Broker, DistributedRunner, LinkShape, ShapingProxy
+from repro.distrib.protocol import authkey_from_env, format_address
+from repro.distrib.shaping import LinkScheduler, ReorderBuffer, read_frame
+from repro.experiments.config import ExperimentConfig
+from repro.runner import JobSpec, ParallelRunner
+
+POLL_TIMEOUT = 300.0  # driver watchdog: generous for slow CI boxes
+
+
+# ----------------------------------------------------------------------
+# unit: LinkScheduler arithmetic
+
+
+class TestLinkScheduler:
+    def test_unshaped_link_is_free(self):
+        sched = LinkScheduler(LinkShape(), seed=0)
+        assert [sched.delay(float(t), 1000) for t in range(5)] == [0.0] * 5
+
+    def test_fixed_latency(self):
+        sched = LinkScheduler(LinkShape(latency=0.5), seed=0)
+        assert sched.delay(0.0, 100) == pytest.approx(0.5)
+        assert sched.delay(7.0, 100) == pytest.approx(0.5)
+
+    def test_jitter_bounded_and_seeded(self):
+        shape = LinkShape(latency=0.5, jitter=0.2)
+        a = LinkScheduler(shape, seed=7)
+        b = LinkScheduler(shape, seed=7)
+        other = LinkScheduler(shape, seed=8)
+        draws_a = [a.delay(0.0, 64) for _ in range(20)]
+        draws_b = [b.delay(0.0, 64) for _ in range(20)]
+        draws_other = [other.delay(0.0, 64) for _ in range(20)]
+        assert draws_a == draws_b  # same seed, same schedule
+        assert draws_a != draws_other
+        for delay in draws_a:
+            assert 0.3 <= delay <= 0.7  # latency ± jitter, link idle
+
+    def test_throttle_serializes_back_to_back_frames(self):
+        # 1000 B/s link, three 500 B frames handed over at t=0: the wire
+        # is busy 0.5 s per frame, so delivery completes at 0.5/1.0/1.5
+        sched = LinkScheduler(LinkShape(bandwidth=1000.0), seed=0)
+        assert sched.delay(0.0, 500) == pytest.approx(0.5)
+        assert sched.delay(0.0, 500) == pytest.approx(1.0)
+        assert sched.delay(0.0, 500) == pytest.approx(1.5)
+
+    def test_throttle_idle_gap_resets_queueing(self):
+        sched = LinkScheduler(LinkShape(bandwidth=1000.0), seed=0)
+        assert sched.delay(0.0, 500) == pytest.approx(0.5)
+        # handed over after the wire drained: no queueing delay
+        assert sched.delay(10.0, 500) == pytest.approx(0.5)
+
+    def test_stutter_freezes_the_link_not_just_one_message(self):
+        # rate 1.0 => every message stalls; the second message queues
+        # behind the first one's freeze *and* adds its own
+        shape = LinkShape(stutter_rate=1.0, stutter_duration=0.25)
+        sched = LinkScheduler(shape, seed=0)
+        assert sched.delay(0.0, 10) == pytest.approx(0.25)
+        assert sched.delay(0.0, 10) == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# unit: ReorderBuffer
+
+
+class TestReorderBuffer:
+    def test_window_zero_is_exact_fifo_for_any_seed(self):
+        frames = [bytes([i]) for i in range(10)]
+        for seed in (0, 1, 99):
+            buf = ReorderBuffer(window=0, seed=seed)
+            for frame in frames:
+                buf.push(frame)
+            assert [buf.pop() for _ in frames] == frames
+
+    def test_displacement_never_exceeds_window(self):
+        window = 3
+        frames = [struct.pack("!I", i) for i in range(50)]
+        for seed in range(5):
+            buf = ReorderBuffer(window=window, seed=seed)
+            for frame in frames:
+                buf.push(frame)
+            out = [buf.pop() for _ in frames]
+            assert sorted(out) == sorted(frames)  # nothing lost or duped
+            for out_pos, frame in enumerate(out):
+                (in_pos,) = struct.unpack("!I", frame)
+                assert abs(out_pos - in_pos) <= window, (
+                    f"seed {seed}: frame {in_pos} displaced to {out_pos}"
+                )
+
+    def test_same_seed_same_order_and_reordering_happens(self):
+        frames = [bytes([i]) for i in range(30)]
+
+        def drain(seed):
+            buf = ReorderBuffer(window=2, seed=seed)
+            for frame in frames:
+                buf.push(frame)
+            return [buf.pop() for _ in frames]
+
+        assert drain(5) == drain(5)
+        # over 30 frames with window 2 the draw leaves FIFO order for
+        # some seed; pin one where it demonstrably does
+        assert any(drain(seed) != frames for seed in range(5))
+
+
+# ----------------------------------------------------------------------
+# unit: frame parser
+
+
+def _pair():
+    left, right = socket.socketpair()
+    return left, right
+
+
+class TestReadFrame:
+    def test_small_frame_roundtrips_header_included(self):
+        left, right = _pair()
+        try:
+            payload = b"hello"
+            left.sendall(struct.pack("!i", len(payload)) + payload)
+            frame = read_frame(right)
+            assert frame == struct.pack("!i", len(payload)) + payload
+        finally:
+            left.close()
+            right.close()
+
+    def test_zero_length_frame(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack("!i", 0))
+            assert read_frame(right) == struct.pack("!i", 0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_large_frame_sentinel(self):
+        left, right = _pair()
+        try:
+            payload = b"x" * 2048
+            wire = struct.pack("!i", -1) + struct.pack("!Q", len(payload)) + payload
+            sender = threading.Thread(target=left.sendall, args=(wire,))
+            sender.start()
+            assert read_frame(right) == wire
+            sender.join()
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_returns_none(self):
+        left, right = _pair()
+        left.close()
+        try:
+            assert read_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_returns_none(self):
+        left, right = _pair()
+        try:
+            left.sendall(struct.pack("!i", 100) + b"only-some")
+            left.close()
+            assert read_frame(right) is None
+        finally:
+            right.close()
+
+
+# ----------------------------------------------------------------------
+# integration: proxy in front of a Connection echo server
+
+
+def _echo_server(authkey):
+    """A Listener echoing every object once; returns (listener, thread)."""
+    listener = Listener(("127.0.0.1", 0), authkey=authkey)
+
+    def serve():
+        try:
+            conn = listener.accept()
+        except (OSError, EOFError):
+            return
+        with conn:
+            while True:
+                try:
+                    conn.send(conn.recv())
+                except (EOFError, OSError):
+                    return
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return listener, thread
+
+
+class TestShapingProxyEndToEnd:
+    def test_handshake_and_messages_survive_shaping(self):
+        authkey = b"shape-test"
+        listener, thread = _echo_server(authkey)
+        shape = LinkShape(latency=0.01, jitter=0.005,
+                          stutter_rate=0.2, stutter_duration=0.02)
+        with ShapingProxy(upstream=listener.address[:2], shape=shape,
+                          seed=3) as proxy:
+            with Client(proxy.address, authkey=authkey) as conn:
+                payloads = [{"i": i, "blob": os.urandom(64)} for i in range(5)]
+                for payload in payloads:
+                    conn.send(payload)
+                    assert conn.recv() == payload  # intact and in order
+        listener.close()
+        thread.join(timeout=5)
+
+    def test_proxy_is_transparent_when_unshaped(self):
+        authkey = b"shape-test"
+        listener, thread = _echo_server(authkey)
+        with ShapingProxy(upstream=listener.address[:2]) as proxy:
+            with Client(proxy.address, authkey=authkey) as conn:
+                big = list(range(50_000))  # exercises the !Q large-frame path
+                conn.send(big)
+                assert conn.recv() == big
+        listener.close()
+        thread.join(timeout=5)
+
+    def test_upstream_down_closes_client_cleanly(self):
+        # grab a port nothing listens on
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()[:2]
+        probe.close()
+        with ShapingProxy(upstream=dead) as proxy:
+            with pytest.raises((EOFError, OSError)):
+                with Client(proxy.address, authkey=b"k") as conn:
+                    conn.recv()
+
+
+# ----------------------------------------------------------------------
+# integration: slow links against the real cluster
+
+
+def _spawn_worker_at(address, heartbeat=1.0):
+    package_root = str(Path(__file__).resolve().parent.parent / "src")
+    env = os.environ.copy()
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH") else package_root
+    )
+    env["REPRO_DISTRIB_AUTHKEY"] = authkey_from_env().decode()
+    env.setdefault("REPRO_WORKER_LOG_PREFIX", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", format_address(address),
+         "--heartbeat", str(heartbeat), "--reconnects", "40"],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+
+
+class TestSlowJoin:
+    def test_one_second_latency_join_is_slow_not_failed(self):
+        """The satellite regression: a worker whose handshake crawls over
+        a 1 s-each-way link must still count as joined — the old code
+        paths that treated a slow join as a partial join turned pure
+        latency into a hard failure."""
+        cfg = ExperimentConfig(scale=0.01, seed=7)
+        jobs = [JobSpec.from_config(cfg, "adaptive", "random", 0.67)]
+        serial_blobs = [pickle.dumps(r) for r in ParallelRunner(jobs=1).run(jobs)]
+
+        broker = Broker(address=("127.0.0.1", 0)).start()
+        proxy = ShapingProxy(upstream=broker.address,
+                             shape=LinkShape(latency=1.0), seed=11).start()
+        worker = None
+        runner = None
+        try:
+            worker = _spawn_worker_at(proxy.address)
+            assert broker.wait_for_workers(1, timeout=30), (
+                "worker behind a 1 s link never counted as joined"
+            )
+            runner = DistributedRunner(broker=format_address(broker.address),
+                                       poll_timeout=POLL_TIMEOUT)
+            results = runner.run(jobs)
+            assert [pickle.dumps(r) for r in results] == serial_blobs
+        finally:
+            if worker is not None:
+                worker.terminate()
+                worker.wait(timeout=10)
+            if runner is not None:
+                runner.close()
+            proxy.close()
+            broker.close()
+
+    def test_worker_gives_up_when_broker_never_appears(self):
+        """First-connect failures retry with backoff, then exit 2 (never
+        joined) — distinct from exit 0 after a clean broker shutdown."""
+        from repro.distrib.worker import worker_main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead = probe.getsockname()[:2]
+        probe.close()
+        assert worker_main(connect=format_address(dead), reconnects=1) == 2

@@ -55,7 +55,7 @@ PREPARE_EXEMPT_NAME = "PREPARE_KEY_EXEMPT"
 
 # -- lock discipline (LOCK) ---------------------------------------------
 
-LOCK_SCOPE = ("distrib/broker.py",)
+LOCK_SCOPE = ("distrib/broker.py", "distrib/shaping.py")
 
 # Broker attributes guarded by `self._lock` (PR 6's hand audit, now
 # mechanical).  `_wake` is a Condition built on `_lock`, so holding
@@ -63,6 +63,7 @@ LOCK_SCOPE = ("distrib/broker.py",)
 BROKER_LOCK_NAMES = frozenset({"_lock", "_wake"})
 BROKER_GUARDED_SELF = frozenset({
     "_workers", "_drivers", "_sweeps", "_idle", "_pending", "_assignments",
+    "_suspects", "_dead", "_conns",
 })
 # Attributes of the _Sweep/_Driver value objects that the same lock
 # guards.  (Worker liveness fields — `alive`, `last_seen` — are
@@ -71,6 +72,7 @@ BROKER_GUARDED_SELF = frozenset({
 BROKER_GUARDED_VALUE = frozenset({
     "remaining", "settled", "finished", "driver_id", "journal",
     "total", "done", "retries", "failures", "sweeps",
+    "hedged", "hedges", "chunk_ewma",
 })
 SEND_LOCK_NAME = "send_lock"
 
