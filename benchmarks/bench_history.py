@@ -37,10 +37,33 @@ def utc_timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def obs_summary() -> "dict | None":
+    """This process's ``repro.obs`` span summary, or None when quiet.
+
+    Benches run with ``REPRO_OBS=1`` (or after ``repro.obs.enable()``)
+    get their per-stage totals persisted alongside the numbers; a run
+    without observability — the default, and what honest timings want —
+    contributes nothing.
+    """
+    try:
+        from repro import obs
+    except ImportError:
+        return None
+    if not obs.enabled():
+        return None
+    return obs.span_summary() or None
+
+
 def make_entry(results: dict, *, sha: str, timestamp: str, scale: float,
-               python: str, numpy: str) -> dict:
-    """One history entry: this run's provenance plus its results."""
-    return {
+               python: str, numpy: str, obs: "dict | None" = None) -> dict:
+    """One history entry: this run's provenance plus its results.
+
+    *obs* is an optional ``repro.obs`` span summary (per-stage
+    ``{name: {count, total_s, max_s}}`` totals) recorded when the bench
+    session ran with observability on; it rides along in the entry so
+    the tracked perf trajectory also shows *where* the time went.
+    """
+    entry = {
         "git_sha": sha,
         "timestamp": timestamp,
         "scale": scale,
@@ -48,6 +71,9 @@ def make_entry(results: dict, *, sha: str, timestamp: str, scale: float,
         "numpy": numpy,
         "results": dict(results),
     }
+    if obs:
+        entry["obs"] = dict(obs)
+    return entry
 
 
 def merge_bench_history(payload, entry: dict, limit: int = HISTORY_LIMIT) -> dict:

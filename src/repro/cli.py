@@ -11,9 +11,12 @@ Operator-facing entry points for the library's main workflows:
     repro-rlir extensions [multihop granularity ...] [--jobs 4 --shards 4 --batch]
     repro-rlir localize [--demux reverse-ecmp] [--jobs 4 --shards 4 --batch]
     repro-rlir cache info|clear
+    repro-rlir fig4a --obs [--obs-trace] [--verbose]      # telemetry artifact
+    repro-rlir obs artifacts/obs/run-*.json               # summarize one
     repro-rlir broker --listen 0.0.0.0:7077               # standing cluster…
     repro-rlir worker --connect HOST:7077                 # …one per machine
     repro-rlir fig4a --broker HOST:7077                   # …drive it
+    repro-rlir broker-stats --connect HOST:7077           # live counters
     repro-rlir shape --listen :7177 --upstream HOST:7077 --latency-ms 500 \\
         --jitter-ms 200 --seed 1                          # degraded-link relay
 
@@ -34,6 +37,16 @@ either embedded (spawning ``--jobs`` local workers) or external
 (``--broker HOST:PORT``, pointing at a ``repro-rlir broker`` with
 ``repro-rlir worker`` processes attached from any number of machines).
 Every backend prints byte-identical experiment output.
+
+``--obs`` records zero-perturbation telemetry (``repro.obs``): spans,
+counters, and histograms across the runner, cache, batch kernels, and —
+on the distributed backend — the broker and workers, written as a JSON
+artifact under ``artifacts/obs/`` when the command finishes
+(``--obs-trace`` additionally emits a Perfetto-loadable Chrome trace).
+Experiment stdout is byte-identical with ``--obs`` on: everything the
+flag adds goes to stderr or the artifact file.  ``--verbose`` surfaces
+once-per-sweep stderr notes when a ``--batch`` run silently falls back
+to the object path (see ``docs/observability.md``).
 
 ``--batch`` runs each simulation on the columnar fast path — pipeline,
 multihop chain, or layered fat-tree driver as the study demands — again
@@ -101,6 +114,26 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=["info", "clear"])
     cache.add_argument("--cache-dir", default=None,
                        help="cache directory (default: .repro-cache)")
+    cache.add_argument("--obs-dir", default=None, metavar="DIR",
+                       help="obs artifact directory for the lifetime "
+                            "hit/miss/put totals (default: artifacts/obs)")
+
+    obsp = sub.add_parser("obs", help="summarize a recorded obs run artifact")
+    obsp.add_argument("artifact", help="path to an artifacts/obs/run-*.json")
+    obsp.add_argument("--no-validate", action="store_true",
+                      help="skip schema validation of the artifact")
+
+    bst = sub.add_parser("broker-stats",
+                         help="query a running broker's metrics snapshot")
+    bst.add_argument("--connect", required=True, metavar="HOST:PORT",
+                     help="broker address to query")
+    bst.add_argument("--authkey", default=None,
+                     help="cluster auth secret (default: REPRO_DISTRIB_AUTHKEY "
+                          "env or built-in)")
+    bst.add_argument("--timeout", type=float, default=10.0,
+                     help="seconds to wait for the stats reply (default 10)")
+    bst.add_argument("--json", action="store_true",
+                     help="print the raw snapshot as JSON")
 
     wrk = sub.add_parser("worker", help="run one distributed-sweep worker")
     wrk.add_argument("--connect", required=True, metavar="HOST:PORT",
@@ -227,6 +260,17 @@ def _add_runner_flags(p: argparse.ArgumentParser, shards: bool = False) -> None:
         p.add_argument("--shards", type=_positive_int, default=1,
                        help="flow shards per condition for the studies that "
                             "support within-condition sharding (default 1)")
+    p.add_argument("--obs", action="store_true",
+                   help="record spans/counters and write a run artifact "
+                        "under artifacts/obs/ (stdout stays byte-identical)")
+    p.add_argument("--obs-dir", default=None, metavar="DIR",
+                   help="artifact directory for --obs (default: artifacts/obs)")
+    p.add_argument("--obs-trace", action="store_true",
+                   help="with --obs, also write a Chrome trace-event file "
+                        "(Perfetto-loadable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="stderr notes when a --batch sweep falls back to "
+                        "the object path (once per site+reason per sweep)")
 
 
 # ----------------------------------------------------------------------
@@ -488,6 +532,39 @@ def _cmd_extensions(args) -> int:
     return 0
 
 
+def _obs_lifetime_totals(obs_dir: Optional[str]) -> dict:
+    """Sum cache counters across every persisted obs run artifact.
+
+    Unreadable or non-artifact files are skipped — the totals are a
+    convenience aggregate, not a source of truth.
+    """
+    import glob
+    import json
+    import os
+
+    from .obs import ARTIFACT_DIR
+
+    totals = {"runs": 0, "cache.hit": 0.0, "cache.miss": 0.0, "cache.put": 0.0}
+    pattern = os.path.join(obs_dir or ARTIFACT_DIR, "run-*.json")
+    for path in sorted(glob.glob(pattern)):
+        if path.endswith(".trace.json"):
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+            counters = doc["counters"]
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        if not isinstance(counters, dict):
+            continue
+        totals["runs"] += 1
+        for key in ("cache.hit", "cache.miss", "cache.put"):
+            value = counters.get(key, 0)
+            if isinstance(value, (int, float)):
+                totals[key] += value
+    return totals
+
+
 def _cmd_cache(args) -> int:
     from .runner import DEFAULT_CACHE_DIR, ResultCache
 
@@ -503,6 +580,157 @@ def _cmd_cache(args) -> int:
         print(f"orphans:   {stats['orphans']} interrupted writes (cache clear removes)")
     print(f"bytes:     {stats['bytes']}")
     print(f"code:      {cache.fingerprint[:16]}…")
+    totals = _obs_lifetime_totals(args.obs_dir)
+    if totals["runs"]:
+        hits = int(totals["cache.hit"])
+        misses = int(totals["cache.miss"])
+        puts = int(totals["cache.put"])
+        looked = hits + misses
+        rate = f" ({hits / looked:.0%} hit rate)" if looked else ""
+        print(f"lifetime:  {hits} hits / {misses} misses / {puts} puts "
+              f"across {totals['runs']} recorded run(s){rate}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from .analysis.report import format_table
+    from .obs import span_summary, validate_artifact
+
+    try:
+        with open(args.artifact, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"repro-rlir obs: cannot read {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    if not args.no_validate:
+        errors = validate_artifact(doc)
+        if errors:
+            print(f"repro-rlir obs: {args.artifact} fails schema validation:",
+                  file=sys.stderr)
+            for err in errors[:20]:
+                print(f"  {err}", file=sys.stderr)
+            return 1
+    meta = doc.get("meta", {})
+    spans = doc.get("spans", [])
+    processes = sorted({rec["process"] for rec in spans})
+    print(f"artifact:  {args.artifact}")
+    print(f"schema:    {doc.get('schema')}")
+    print(f"created:   {meta.get('created')}")
+    print(f"command:   {' '.join(meta.get('argv', []))}")
+    print(f"processes: {len(processes)} ({', '.join(processes)})"
+          if processes else "processes: 0")
+    summary = span_summary(spans)
+    if summary:
+        print()
+        print(format_table(
+            ["span", "count", "total (s)", "max (s)"],
+            [[name, int(stat["count"]), f"{stat['total_s']:.4f}",
+              f"{stat['max_s']:.4f}"] for name, stat in summary.items()],
+        ))
+    counters = doc.get("counters", {})
+    if counters:
+        print()
+        print(format_table(
+            ["counter", "value"],
+            [[key, f"{value:g}"] for key, value in sorted(counters.items())],
+        ))
+    gauges = doc.get("gauges", {})
+    if gauges:
+        print()
+        print(format_table(
+            ["gauge", "value"],
+            [[key, f"{value:g}"] for key, value in sorted(gauges.items())],
+        ))
+    hists = doc.get("histograms", {})
+    if hists:
+        print()
+        print(format_table(
+            ["histogram", "count", "mean", "min", "max"],
+            [[key, int(h["count"]),
+              f"{h['total'] / h['count']:.4g}" if h["count"] else "-",
+              f"{h['min']:.4g}", f"{h['max']:.4g}"]
+             for key, h in sorted(hists.items())],
+        ))
+    return 0
+
+
+def _cmd_broker_stats(args) -> int:
+    import json
+    import time as _time
+    from multiprocessing.connection import Client
+
+    from .analysis.report import format_table
+    from .distrib.protocol import authkey_from_env, parse_address
+    from .runner.cache import code_fingerprint
+
+    try:
+        address = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"repro-rlir broker-stats: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        conn = Client(address, authkey=authkey_from_env(args.authkey))
+    except (OSError, EOFError) as exc:
+        print(f"repro-rlir broker-stats: cannot connect to {args.connect}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    try:
+        conn.send(("hello", "driver", code_fingerprint(), {"stats_only": True}))
+        reply = conn.recv()
+        if reply[0] == "reject":
+            print(f"repro-rlir broker-stats: rejected: {reply[1]}",
+                  file=sys.stderr)
+            return 1
+        conn.send(("stats",))
+        deadline = _time.monotonic() + args.timeout
+        snapshot = None
+        while _time.monotonic() < deadline:
+            if not conn.poll(0.2):
+                continue
+            message = conn.recv()
+            if message[0] == "stats":
+                snapshot = message[1]
+                break
+        try:
+            conn.send(("bye",))
+        except (OSError, ValueError):
+            pass
+    except (EOFError, ConnectionError, OSError) as exc:
+        print(f"repro-rlir broker-stats: connection lost: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        conn.close()
+    if snapshot is None:
+        print(f"repro-rlir broker-stats: no stats reply within "
+              f"{args.timeout}s (is the broker protocol 4+?)", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"broker:  {args.connect}")
+    for section in ("counters", "gauges"):
+        entries = snapshot.get(section, {})
+        if entries:
+            print()
+            print(format_table(
+                [section[:-1], "value"],
+                [[key, f"{value:g}"]
+                 for key, value in sorted(entries.items())],
+            ))
+    hists = snapshot.get("histograms", {})
+    if hists:
+        print()
+        print(format_table(
+            ["histogram", "count", "mean", "min", "max"],
+            [[key, int(h["count"]),
+              f"{h['total'] / h['count']:.4g}" if h["count"] else "-",
+              f"{h['min']:.4g}", f"{h['max']:.4g}"]
+             for key, h in sorted(hists.items())],
+        ))
     return 0
 
 
@@ -595,6 +823,8 @@ _COMMANDS = {
     "extensions": _cmd_extensions,
     "localize": _cmd_localize,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
+    "broker-stats": _cmd_broker_stats,
     "worker": _cmd_worker,
     "broker": _cmd_broker,
     "shape": _cmd_shape,
@@ -615,7 +845,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             parse_address(broker)
         except ValueError as exc:
             parser.error(str(exc))
-    return _COMMANDS[args.command](args)
+    obs_on = bool(getattr(args, "obs", False))
+    if obs_on or getattr(args, "verbose", False):
+        from repro import obs
+
+        if obs_on:
+            obs.enable(process="driver")
+        if getattr(args, "verbose", False):
+            obs.set_verbose(True)
+    code = _COMMANDS[args.command](args)
+    if obs_on:
+        # after the command so the artifact sees the whole run; the path
+        # note goes to stderr — experiment stdout must stay byte-identical
+        # with --obs on (the obs-smoke CI lane diffs it)
+        from repro import obs
+
+        path = obs.write_artifact(
+            meta={"command": args.command},
+            out_dir=getattr(args, "obs_dir", None),
+            chrome_trace=bool(getattr(args, "obs_trace", False)),
+        )
+        print(f"[repro.obs] wrote {path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

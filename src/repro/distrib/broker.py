@@ -90,6 +90,7 @@ from multiprocessing.connection import (
 )
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from ..runner.cache import code_fingerprint
 from .journal import SweepJournal, load_journals
 from .protocol import DEFAULT_AUTHKEY, PROTOCOL_VERSION, chunk_jobs
@@ -318,6 +319,10 @@ class Broker:
             else max(10.0, 3.0 * heartbeat_timeout))
         # injectable for the deterministic harness (chaos.py scripts time)
         self._clock: Callable[[], float] = time.monotonic
+        # Always-on instance registry (its own lock, never the broker's):
+        # dispatch/requeue/hedge/suspect counters and the heartbeat
+        # interarrival histogram, served to drivers via ("stats",)
+        self.metrics = MetricsRegistry()
         self._lock = threading.RLock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
@@ -566,7 +571,12 @@ class Broker:
                     # blocked recv, which then raises TypeError rather
                     # than OSError — same meaning: connection gone
                     break
-                worker.observe(self._clock())
+                now = self._clock()
+                interarrival = now - worker.last_seen
+                if interarrival > 0.0:
+                    self.metrics.observe(
+                        "distrib.heartbeat_interarrival", interarrival)
+                worker.observe(now)
                 tag = message[0]
                 if tag == "heartbeat":
                     continue
@@ -576,14 +586,20 @@ class Broker:
                             self._idle.add(worker.id)
                             self._wake.notify_all()
                 elif tag == "result":
-                    self._complete_chunk(worker, message[1], message[2])
+                    # protocol 4: an obs-enabled worker appends its drained
+                    # span/metric buffers as a 4th element
+                    self._complete_chunk(
+                        worker, message[1], message[2],
+                        message[3] if len(message) > 3 else None)
                 elif tag == "error":
                     self._chunk_error(worker, message[1], message[2])
         finally:
             self._worker_lost(worker)
 
     def _complete_chunk(self, worker: _Worker, chunk_id: int,
-                        results: List[tuple]) -> None:
+                        results: List[tuple],
+                        obs_payload: Optional[dict] = None) -> None:
+        self.metrics.count("distrib.chunk_complete")
         with self._wake:
             chunk = self._assignments.get(worker.id)
             if chunk is not None and chunk.id == chunk_id:
@@ -611,6 +627,27 @@ class Broker:
             # the worker idle: re-idling a worker that still holds a chunk
             # would let dispatch overwrite — and silently lose — that chunk.
         self._deliver(results)
+        if obs_payload is not None:
+            self._forward_obs(results, obs_payload)
+
+    def _forward_obs(self, results: List[tuple],
+                     obs_payload: dict) -> None:
+        """Relay a worker's drained obs buffers to the sweep's driver.
+
+        Best-effort telemetry: an orphaned sweep or dead driver simply
+        drops the payload (spans are diagnostics, not outcomes).
+        """
+        sweep_ids = {sweep_id for (sweep_id, _seq), _value in results}
+        with self._lock:
+            drivers = {}
+            for sweep_id in sweep_ids:
+                sweep = self._sweeps.get(sweep_id)
+                if sweep is not None and sweep.driver_id is not None:
+                    driver = self._drivers.get(sweep.driver_id)
+                    if driver is not None:
+                        drivers[driver.id] = driver
+        for driver in drivers.values():
+            self._safe_send(driver, ("obs", obs_payload))
 
     def _chunk_error(self, worker: _Worker, chunk_id: int, trace: str) -> None:
         with self._wake:
@@ -647,6 +684,7 @@ class Broker:
             worker.conn.close()
         except OSError:
             pass
+        self.metrics.count("distrib.worker_dead")
         if chunk is not None:
             chunk.last_error = f"worker {worker.id} died mid-chunk"
             self._requeue(chunk)
@@ -670,12 +708,14 @@ class Broker:
             # though this chunk is exclusively ours here
             attempts = chunk.failures
         if attempts <= self.max_retries:
+            self.metrics.count("distrib.requeue")
             with self._wake:
                 self._pending.appendleft(chunk)  # retries jump the queue
                 self._wake.notify_all()
             self._progress_for(sweep)
             return
         reason = chunk.last_error or "unknown failure"
+        self.metrics.count("distrib.gave_up_jobs", len(chunk.entries))
         # every recorded failure was one dispatch attempt
         self._settle(sweep, [(seq, ("failed", attempts, reason))
                              for seq, _job in chunk.entries])
@@ -712,9 +752,11 @@ class Broker:
                 if overdue > w.suspect_after(self.heartbeat_timeout):
                     if w.id not in self._suspects:
                         self._suspects.add(w.id)
+                        self.metrics.count("distrib.suspect")
                         suspects_changed = True
                 elif w.id in self._suspects:
                     self._suspects.discard(w.id)
+                    self.metrics.count("distrib.unsuspect")
                     suspects_changed = True
             hedges = self._plan_hedges(now, stale_ids)
         for worker in stale:
@@ -784,6 +826,7 @@ class Broker:
             for seq in seqs:
                 sweep.hedged[seq] = sweep.hedged.get(seq, 0) + 1
             sweep.hedges += 1
+            self.metrics.count("distrib.hedge")
             if sweep.journal is not None:
                 sweep.journal.record_hedge(seqs)
             plans.append((target, sweep, (
@@ -809,6 +852,8 @@ class Broker:
                 tag = message[0]
                 if tag == "submit":
                     self._submit(driver, message[1], message[2])
+                elif tag == "stats":
+                    self._safe_send(driver, ("stats", self.stats_snapshot()))
                 elif tag == "bye":
                     clean = True
                     break
@@ -953,6 +998,8 @@ class Broker:
                 sweep.done += 1
             else:
                 sweep.failures.append((seq, out[1], out[2]))
+        if live:
+            self.metrics.count("distrib.settle", len(live))
         if live and sweep.journal is not None:
             # write-ahead: journal the outcome before the driver sees it
             sweep.journal.record_settled(live)
@@ -1091,6 +1138,7 @@ class Broker:
         except (OSError, ValueError):
             self._worker_lost(worker)  # requeues the chunk
             return True
+        self.metrics.count("distrib.dispatch")
         self._progress_for(sweep)
         return True
 
@@ -1153,6 +1201,25 @@ class Broker:
             drivers = list(self._drivers.values())
         for driver in drivers:
             self._send_progress(driver)
+
+    def stats_snapshot(self) -> dict:
+        """Lifetime metrics plus live occupancy gauges, JSON-ready.
+
+        Served to drivers over the ``("stats",)`` protocol query and by
+        ``repro-rlir broker-stats``.  Counters come from the broker's
+        always-on registry (guarded by its own lock); the occupancy
+        gauges are read under the broker lock so they are mutually
+        consistent with each other.
+        """
+        snap = self.metrics.snapshot()
+        gauges = snap.setdefault("gauges", {})
+        with self._lock:
+            gauges["distrib.workers"] = float(len(self._workers))
+            gauges["distrib.pending_chunks"] = float(len(self._pending))
+            gauges["distrib.assigned_chunks"] = float(len(self._assignments))
+            gauges["distrib.suspects"] = float(len(self._suspects))
+            gauges["distrib.sweeps"] = float(len(self._sweeps))
+        return snap
 
     def _safe_send(self, peer: _Peer, message: object) -> None:
         try:

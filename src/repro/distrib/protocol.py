@@ -11,15 +11,18 @@ client→broker ``("hello", role, fingerprint, info)``                   join
 broker→client ``("welcome", client_id, broker_fingerprint, meta)``     ack
 broker→client ``("reject", reason)``                                   refuse
 driver→broker ``("submit", sweep_id, [(seq, chunk_key, job), …])``     jobs in
+driver→broker ``("stats",)``                                           metrics?
 driver→broker ``("bye",)``                                             detach
 broker→worker ``("jobs", chunk_id, [(tag, job), …])``                  assign
 broker→worker ``("cancel", chunk_id)``                                 stop chunk
 worker→broker ``("ready",)`` / ``("heartbeat",)``                      liveness
-worker→broker ``("result", chunk_id, [(tag, value), …])``              jobs out
+worker→broker ``("result", chunk_id, [(tag, value), …][, obs])``       jobs out
 worker→broker ``("error", chunk_id, traceback_text)``                  job raised
 broker→driver ``("result", [(seq, value), …])``                        forward
 broker→driver ``("failed", [(seq, attempts, reason), …])``             gave up
 broker→driver ``("progress", snapshot_dict)``                          live view
+broker→driver ``("obs", payload_dict)``                                telemetry
+broker→driver ``("stats", snapshot_dict)``                             metrics
 broker→driver ``("done", stats_dict)``                                 sweep over
 ============ ========================================================= ====
 
@@ -41,6 +44,17 @@ chunk settled elsewhere (a hedge lost its race): the worker aborts
 between jobs and replies with a normal ``result`` carrying whatever
 prefix it finished — settlement is per-job and idempotent, so a partial
 result is always safe.
+
+Protocol 4 adds the observability surface, all of it optional and
+backwards-compatible: an obs-enabled worker appends its drained
+span/metric buffers as a 4th ``result`` element (a broker reading a
+3-tuple still works — the payload slot just reads as absent); the broker
+relays such payloads to the sweep's driver as ``("obs", payload)``; and
+a driver may ask ``("stats",)`` at any time to receive ``("stats",
+snapshot)`` — the broker's lifetime counters (dispatches, requeues,
+hedges, suspect flips, heartbeat-interarrival stats) plus live occupancy
+gauges.  None of these messages affect settlement: they are telemetry,
+dropped harmlessly when a peer predates them.
 
 ``role`` is ``"worker"`` or ``"driver"``; both are rejected when their code
 fingerprint (:func:`repro.runner.cache.code_fingerprint`) differs from the
@@ -76,7 +90,7 @@ __all__ = [
     "chunk_jobs",
 ]
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 # Shared secret for the connection-level HMAC handshake.  This
 # authenticates peers (a stray process cannot join the pool by accident);

@@ -35,11 +35,12 @@ import sys
 import threading
 import time
 import uuid
-from multiprocessing.connection import Client
+from multiprocessing.connection import Client, Connection
 from pathlib import Path
 from typing import (Any, Callable, Iterator, List, Optional, Sequence,
                     TextIO, Tuple)
 
+from .. import obs
 from ..runner.cache import ResultCache, code_fingerprint
 from ..runner.runner import ParallelRunner, _prepare_key
 from .broker import Broker
@@ -233,6 +234,13 @@ class DistributedRunner(ParallelRunner):
         # the stderr relay below labels every line; the worker's own
         # "[worker]" prefix would be redundant noise on top
         env.setdefault("REPRO_WORKER_LOG_PREFIX", "")
+        if obs.enabled():
+            # REPRO_OBS itself rides the environ copy (enable() exports
+            # it); the label must NOT — the driver's own exported label
+            # would masquerade as the worker's.  A stable per-spawn label
+            # keeps the artifact's process names deterministic across
+            # reconnect-assigned worker ids.
+            env["REPRO_OBS_PROCESS"] = f"worker-{len(self._procs)}"
         if extra_env:
             env.update(extra_env)
         command = [
@@ -400,6 +408,10 @@ class DistributedRunner(ParallelRunner):
                         )
                         if self.progress is not None:
                             self.progress(snapshot)
+                    elif tag == "obs":
+                        # a worker's drained span/metric buffers, relayed
+                        # by the broker; folded for the run artifact
+                        obs.fold_payload(message[1])
                     elif tag == "done":
                         if remaining:
                             # a broker may only say "done" after every
@@ -414,6 +426,8 @@ class DistributedRunner(ParallelRunner):
                         done = True
                         break
                 if done:
+                    if obs.enabled():
+                        self._collect_broker_stats(conn)
                     try:
                         conn.send(("bye",))
                     except (OSError, ValueError):
@@ -425,6 +439,33 @@ class DistributedRunner(ParallelRunner):
                 conn.close()
         if failures:
             raise DistributedSweepError(sorted(failures, key=lambda f: f.seq))
+
+    def _collect_broker_stats(self, conn: Connection) -> None:
+        """Best-effort ``("stats",)`` query folded into the run artifact.
+
+        The broker's lifetime counters (dispatches, requeues, hedges,
+        suspect flips, heartbeat interarrivals) live broker-side; with
+        obs on, the driver pulls one snapshot after the sweep settles
+        and folds it under the ``broker.`` key prefix.  Telemetry only:
+        any failure or timeout is swallowed — the sweep's results are
+        already in hand and must not be risked for a diagnostic.
+        """
+        try:
+            conn.send(("stats",))
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if not conn.poll(0.2):
+                    continue
+                message = conn.recv()
+                tag = message[0]
+                if tag == "stats":
+                    obs.fold_metrics(message[1], prefix="broker.")
+                    return
+                if tag == "obs":
+                    obs.fold_payload(message[1])
+                # anything else (late progress) is drained and dropped
+        except (EOFError, ConnectionError, OSError, ValueError):
+            pass
 
     def _backoff(self, attempts: int, exc: Exception) -> None:
         """Sleep before reconnect attempt *attempts*, or give up."""

@@ -52,6 +52,7 @@ import traceback
 from multiprocessing.connection import Client, Connection
 from typing import Any, Callable, List, Optional, Tuple
 
+from .. import obs
 from ..runner.cache import ResultCache, code_fingerprint
 from .protocol import authkey_from_env, parse_address
 
@@ -202,6 +203,10 @@ def worker_main(
         worker_id = reply[1]
         meta = reply[3] if len(reply) > 3 and isinstance(reply[3], dict) else {}
         interval = _heartbeat_interval(heartbeat, meta)
+        if obs.enabled() and not os.environ.get("REPRO_OBS_PROCESS"):
+            # standalone workers label their obs buffers by broker-assigned
+            # id; embedded workers get a stable label via the environment
+            obs.set_process_label(f"worker-{worker_id}")
         joined_once = True
         failures = 0
         say(f"joined broker at {connect} as worker {worker_id}")
@@ -330,7 +335,8 @@ def _serve_connection(conn: Connection, send_lock: Any,
             while time.monotonic() < deadline and not should_abort():
                 time.sleep(0.05)
         try:
-            results = execute_chunk(entries, cache, should_abort)
+            with obs.span("worker.chunk"):
+                results = execute_chunk(entries, cache, should_abort)
         except BaseException:
             trace = traceback.format_exc()
             say(f"chunk {chunk_id} raised:\n{trace}")
@@ -350,7 +356,14 @@ def _serve_connection(conn: Connection, send_lock: Any,
                     # broker's liveness clock so the full timeout budget
                     # covers the transfer itself
                     conn.send(("heartbeat",))
-                    conn.send(("result", chunk_id, results))
+                    if obs.enabled():
+                        # protocol 4: drained span/metric buffers ride the
+                        # result message; the broker relays them to the
+                        # sweep's driver for the merged run artifact
+                        conn.send(("result", chunk_id, results,
+                                   obs.drain_payload()))
+                    else:
+                        conn.send(("result", chunk_id, results))
             except (OSError, ValueError):
                 say("broker went away while returning results; "
                     "the chunk will be re-dispatched")

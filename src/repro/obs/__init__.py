@@ -1,0 +1,97 @@
+"""repro.obs — zero-perturbation tracing, metrics, and run artifacts.
+
+Stdlib-only observability layer (ISSUE 9).  Three surfaces:
+
+* :mod:`repro.obs.trace` — ``with span("name"):`` wall-clock spans with
+  a one-attribute-check no-op fast path when disabled;
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms plus the
+  batch fast-path ``fallback(site, reason)`` helper;
+* :mod:`repro.obs.export` — per-run JSON artifacts under
+  ``artifacts/obs/``, Chrome trace-event export, and the deterministic
+  ``(process, seq)`` merge of worker-process buffers.
+
+Kernel scope (``repro/sim``, ``repro/core``) may import only
+``repro.obs.metrics`` — enforced by reprolint's OBS rule family — so
+telemetry can never touch simulation state, float order, or a clock
+inside a kernel.  Everything else may import this package directly.
+
+Enable with ``--obs`` on the CLI, ``REPRO_OBS=1`` in the environment,
+or :func:`enable` programmatically.
+"""
+
+from repro.obs._state import (
+    disable,
+    enable,
+    enabled,
+    process_label,
+    set_process_label,
+    set_verbose,
+    verbose,
+)
+from repro.obs.export import (
+    ARTIFACT_DIR,
+    SCHEMA_ID,
+    build_artifact,
+    drain_payload,
+    fold_metrics,
+    fold_payload,
+    load_schema,
+    merged_spans,
+    reset_foreign,
+    span_summary,
+    validate_artifact,
+    write_artifact,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    count,
+    drain_registry,
+    fallback,
+    gauge,
+    merge_snapshot,
+    observe,
+    registry_snapshot,
+    reset_metrics,
+    reset_notes,
+    taken,
+)
+from repro.obs.trace import drain_spans, reset_spans, span, spans_snapshot
+
+__all__ = [
+    "ARTIFACT_DIR",
+    "SCHEMA_ID",
+    "MetricsRegistry",
+    "build_artifact",
+    "count",
+    "disable",
+    "drain_payload",
+    "drain_registry",
+    "drain_spans",
+    "enable",
+    "enabled",
+    "fallback",
+    "fold_metrics",
+    "fold_payload",
+    "gauge",
+    "load_schema",
+    "merge_snapshot",
+    "merged_spans",
+    "observe",
+    "process_label",
+    "registry_snapshot",
+    "reset_foreign",
+    "reset_metrics",
+    "reset_notes",
+    "reset_spans",
+    "set_process_label",
+    "set_verbose",
+    "span",
+    "span_summary",
+    "spans_snapshot",
+    "taken",
+    "validate_artifact",
+    "verbose",
+    "write_artifact",
+    "write_chrome_trace",
+]

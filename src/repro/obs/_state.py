@@ -1,0 +1,102 @@
+"""Process-wide observability state shared by trace/metrics/export.
+
+The entire layer hangs off one module-level ``_ObsState`` instance so
+that the *disabled* fast path costs a single attribute check
+(``_STATE.enabled``) at every span/counter call site — the hard budget
+ISSUE 9 sets for telemetry left compiled into hot paths.
+
+Enablement is process-wide and inherited by children two ways:
+
+* fork-based pool workers copy the module state directly;
+* spawn-based distrib workers re-import this module and read the
+  ``REPRO_OBS`` / ``REPRO_OBS_VERBOSE`` / ``REPRO_OBS_PROCESS``
+  environment variables, which :func:`enable` keeps in sync.
+
+Nothing in this module touches simulation state: the reprolint OBS
+rules additionally guarantee that kernel scope (``repro/sim``,
+``repro/core``) can only ever reach the counter surface
+(:mod:`repro.obs.metrics`), never the clock-bearing span surface.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+class _ObsState:
+    """Singleton holding the enabled/verbose flags and the span clock seq."""
+
+    __slots__ = ("enabled", "verbose", "process_override", "lock", "seq")
+
+    def __init__(self) -> None:
+        self.enabled: bool = _env_flag("REPRO_OBS")
+        self.verbose: bool = _env_flag("REPRO_OBS_VERBOSE")
+        # Fixed label for this process's buffers; empty means "derive
+        # from the live pid at drain time" so fork children do not
+        # inherit the parent's label.
+        self.process_override: str = os.environ.get("REPRO_OBS_PROCESS", "")
+        self.lock: threading.Lock = threading.Lock()
+        self.seq: int = 0
+
+    def next_seq(self) -> int:
+        """Monotonic per-process sequence number.  Caller holds ``lock``."""
+        self.seq += 1
+        return self.seq
+
+
+_STATE = _ObsState()
+
+
+def enabled() -> bool:
+    """Whether the observability layer is recording in this process."""
+    return _STATE.enabled
+
+
+def verbose() -> bool:
+    """Whether once-per-sweep fallback notes go to stderr."""
+    return _STATE.verbose
+
+
+def enable(*, process: str | None = None) -> None:
+    """Turn recording on and propagate the flag to future child processes."""
+    _STATE.enabled = True
+    os.environ["REPRO_OBS"] = "1"
+    if process is not None:
+        set_process_label(process)
+
+
+def disable() -> None:
+    """Turn recording off (buffers are kept; drain them explicitly)."""
+    _STATE.enabled = False
+    os.environ.pop("REPRO_OBS", None)
+
+
+def set_verbose(flag: bool = True) -> None:
+    """Toggle the stderr fallback notes independently of recording."""
+    _STATE.verbose = flag
+    if flag:
+        os.environ["REPRO_OBS_VERBOSE"] = "1"
+    else:
+        os.environ.pop("REPRO_OBS_VERBOSE", None)
+
+
+def set_process_label(label: str) -> None:
+    """Pin this process's buffer label (e.g. ``worker-3`` in distrib)."""
+    _STATE.process_override = label
+    os.environ["REPRO_OBS_PROCESS"] = label
+
+
+def process_label() -> str:
+    """Label stamped on this process's drained buffers.
+
+    Computed live (not cached at import) so a forked pool worker labels
+    its payloads with its own pid rather than the parent's.
+    """
+    return _STATE.process_override or f"pid-{os.getpid()}"

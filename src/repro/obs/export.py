@@ -1,0 +1,286 @@
+"""Per-run JSON artifacts, Chrome trace export, and worker-buffer merge.
+
+The driver process owns the artifact.  Worker processes (pool forks or
+distrib workers) periodically *drain* their span/metric buffers into a
+payload dict that travels back over the existing result channel; the
+driver *folds* each payload, and at export time all buffers are merged
+deterministically by ``(process, seq)`` — the per-process monotonic
+sequence number stamped on every span record.
+
+Artifacts land under ``artifacts/obs/run-*.json`` and validate against
+the committed schema (``src/repro/obs/schema.json``) via the small
+stdlib validator in this module.  ``write_chrome_trace`` emits the same
+spans in Chrome trace-event form, loadable in Perfetto / chrome://tracing.
+
+This module reads wall clocks and the filesystem, so like
+:mod:`repro.obs.trace` it is banned from kernel scope (reprolint OBS002).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics, trace
+from repro.obs._state import _STATE, process_label
+
+SCHEMA_ID = "repro.obs/v1"
+ARTIFACT_DIR = os.path.join("artifacts", "obs")
+
+# Payloads folded from other processes, guarded by the obs state lock.
+_FOREIGN: List[Dict[str, Any]] = []
+
+
+# -- worker-buffer shipping --------------------------------------------
+
+
+def drain_payload() -> Dict[str, Any]:
+    """Drain this process's buffers into a channel-ready payload dict."""
+    return {
+        "process": process_label(),
+        "spans": trace.drain_spans(),
+        "metrics": metrics.drain_registry(),
+    }
+
+
+def fold_payload(payload: Optional[Dict[str, Any]]) -> None:
+    """Accept a payload drained in another process (driver side).
+
+    ``None`` and malformed payloads are ignored — telemetry must never
+    turn a healthy run into a failed one.
+    """
+    if not isinstance(payload, dict) or "process" not in payload:
+        return
+    with _STATE.lock:
+        _FOREIGN.append(payload)
+
+
+def fold_metrics(snap: Dict[str, Any], *, prefix: str = "") -> None:
+    """Fold a bare metrics snapshot (e.g. a broker stats reply)."""
+    if isinstance(snap, dict):
+        metrics.merge_snapshot(snap, prefix=prefix)
+
+
+def reset_foreign() -> None:
+    """Drop folded payloads (tests only)."""
+    with _STATE.lock:
+        _FOREIGN.clear()
+
+
+# -- deterministic merge ------------------------------------------------
+
+
+def merged_spans() -> List[Dict[str, Any]]:
+    """All spans — local and folded — ordered by ``(process, seq)``."""
+    local = trace.spans_snapshot()
+    label = process_label()
+    out: List[Dict[str, Any]] = []
+    for rec in local:
+        rec = dict(rec)
+        rec.setdefault("process", label)
+        out.append(rec)
+    with _STATE.lock:
+        foreign = [dict(p) for p in _FOREIGN]
+    for payload in foreign:
+        proc = str(payload.get("process", "?"))
+        for rec in payload.get("spans", []):
+            rec = dict(rec)
+            rec["process"] = proc
+            out.append(rec)
+    out.sort(key=lambda r: (r["process"], r["seq"]))
+    return out
+
+
+def merged_metrics() -> Dict[str, Any]:
+    """Default-registry snapshot with all folded payload metrics summed in."""
+    combined = metrics.MetricsRegistry()
+    combined.merge(metrics.registry_snapshot())
+    with _STATE.lock:
+        foreign = list(_FOREIGN)
+    for payload in foreign:
+        snap = payload.get("metrics")
+        if isinstance(snap, dict):
+            combined.merge(snap)
+    return combined.snapshot()
+
+
+# -- artifact build / write --------------------------------------------
+
+
+def build_artifact(meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Assemble the schema-shaped artifact document for this run."""
+    doc_meta: Dict[str, Any] = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "argv": list(sys.argv),
+        "pid": os.getpid(),
+        "python": sys.version.split()[0],
+    }
+    if meta:
+        doc_meta.update(meta)
+    snap = merged_metrics()
+    return {
+        "schema": SCHEMA_ID,
+        "meta": doc_meta,
+        "spans": merged_spans(),
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histograms": snap["histograms"],
+    }
+
+
+def write_artifact(
+    meta: Optional[Dict[str, Any]] = None,
+    *,
+    out_dir: Optional[str] = None,
+    chrome_trace: bool = False,
+) -> str:
+    """Write ``run-<stamp>-<pid>.json`` (and optionally its Chrome trace).
+
+    Returns the artifact path.
+    """
+    target = out_dir or ARTIFACT_DIR
+    os.makedirs(target, exist_ok=True)
+    doc = build_artifact(meta)
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    path = os.path.join(target, f"run-{stamp}-{os.getpid()}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if chrome_trace:
+        write_chrome_trace(path[: -len(".json")] + ".trace.json", doc)
+    return path
+
+
+def write_chrome_trace(path: str, doc: Optional[Dict[str, Any]] = None) -> str:
+    """Export spans as Chrome trace events (Perfetto-loadable).
+
+    Each obs process becomes a trace pid with a ``process_name``
+    metadata record.  Timestamps are each process's own
+    ``perf_counter`` microseconds — cross-process offsets are not
+    aligned, which Perfetto tolerates (tracks are still readable
+    per-process).
+    """
+    if doc is None:
+        doc = build_artifact()
+    procs = sorted({rec["process"] for rec in doc["spans"]})
+    pid_of = {proc: i + 1 for i, proc in enumerate(procs)}
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid_of[proc],
+            "tid": 0,
+            "args": {"name": proc},
+        }
+        for proc in procs
+    ]
+    for rec in doc["spans"]:
+        events.append(
+            {
+                "ph": "X",
+                "name": rec["name"],
+                "pid": pid_of[rec["process"]],
+                "tid": rec["thread"] % 100000,
+                "ts": rec["start"] * 1e6,
+                "dur": (rec["end"] - rec["start"]) * 1e6,
+                "args": {"seq": rec["seq"]},
+            }
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+        fh.write("\n")
+    return path
+
+
+# -- summaries ----------------------------------------------------------
+
+
+def span_summary(spans: Optional[List[Dict[str, Any]]] = None) -> Dict[str, Dict[str, float]]:
+    """Per-stage totals: span name → {count, total_s, max_s}."""
+    if spans is None:
+        spans = merged_spans()
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in spans:
+        dur = rec["end"] - rec["start"]
+        stat = out.get(rec["name"])
+        if stat is None:
+            out[rec["name"]] = {"count": 1, "total_s": dur, "max_s": dur}
+        else:
+            stat["count"] += 1
+            stat["total_s"] += dur
+            stat["max_s"] = max(stat["max_s"], dur)
+    return {name: out[name] for name in sorted(out)}
+
+
+# -- schema validation --------------------------------------------------
+
+
+def load_schema() -> Dict[str, Any]:
+    """The committed artifact schema shipped next to this module."""
+    path = os.path.join(os.path.dirname(__file__), "schema.json")
+    with open(path, encoding="utf-8") as fh:
+        schema: Dict[str, Any] = json.load(fh)
+    return schema
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def validate_artifact(
+    doc: Any, schema: Optional[Dict[str, Any]] = None, _path: str = "$"
+) -> List[str]:
+    """Check ``doc`` against the (subset) JSON Schema; return error strings.
+
+    Supports the keywords the committed schema uses — ``type``,
+    ``const``, ``enum``, ``required``, ``properties``,
+    ``additionalProperties`` (as a value schema), ``items`` — which
+    keeps validation stdlib-only per the repo's no-new-deps rule.
+    """
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        pytype = _TYPES[expected]
+        ok = isinstance(doc, pytype)
+        # bool is an int subclass; a gauge of True is still wrong.
+        if ok and expected in ("integer", "number") and isinstance(doc, bool):
+            ok = False
+        if not ok:
+            return [f"{_path}: expected {expected}, got {type(doc).__name__}"]
+
+    if "const" in schema and doc != schema["const"]:
+        errors.append(f"{_path}: expected {schema['const']!r}, got {doc!r}")
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{_path}: {doc!r} not in {schema['enum']!r}")
+
+    if isinstance(doc, dict):
+        for req in schema.get("required", []):
+            if req not in doc:
+                errors.append(f"{_path}: missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, val in doc.items():
+            if key in props:
+                errors.extend(validate_artifact(val, props[key], f"{_path}.{key}"))
+            elif isinstance(extra, dict):
+                errors.extend(validate_artifact(val, extra, f"{_path}.{key}"))
+
+    if isinstance(doc, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, val in enumerate(doc):
+                errors.extend(validate_artifact(val, items, f"{_path}[{i}]"))
+
+    return errors

@@ -1,0 +1,219 @@
+"""Counters, gauges, and histograms — the clock-free metric surface.
+
+This is the only observability module kernel scope (``repro/sim``,
+``repro/core``) is allowed to import (reprolint OBS002): nothing here
+reads a clock, allocates per-call when disabled, or returns a value the
+caller could feed back into simulation control flow (OBS003 requires
+kernel-scope call sites to be bare statements; every public function
+here returns ``None``).
+
+Counter naming: a label is folded into the flat key as ``name[label]``
+so snapshots stay plain string→number dicts that merge by summation and
+export to JSON without a nesting scheme.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.obs._state import _STATE
+
+Snapshot = Dict[str, Dict[str, float]]
+
+
+def _key(name: str, label: Optional[str]) -> str:
+    return name if label is None else f"{name}[{label}]"
+
+
+class MetricsRegistry:
+    """Thread-safe named counters/gauges/histograms with merge support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._hists: Dict[str, List[float]] = {}
+
+    def count(self, name: str, n: float = 1, *, label: Optional[str] = None) -> None:
+        key = _key(name, label)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + n
+
+    def gauge(self, name: str, value: float, *, label: Optional[str] = None) -> None:
+        with self._lock:
+            self._gauges[_key(name, label)] = value
+
+    def observe(self, name: str, value: float, *, label: Optional[str] = None) -> None:
+        key = _key(name, label)
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                self._hists[key] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                hist[2] = min(hist[2], value)
+                hist[3] = max(hist[3], value)
+
+    def snapshot(self) -> Snapshot:
+        """JSON-ready copy: sorted keys, histograms as stat dicts."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+                "histograms": {
+                    k: {
+                        "count": h[0],
+                        "total": h[1],
+                        "min": h[2],
+                        "max": h[3],
+                    }
+                    for k, h in sorted(self._hists.items())
+                },
+            }
+
+    def merge(self, snap: Snapshot, *, prefix: str = "") -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram stats combine; gauges are last-write-wins
+        (the incoming snapshot overwrites).  ``prefix`` namespaces the
+        incoming keys, e.g. ``prefix="broker."`` for a broker stats
+        reply folded into the driver registry.
+        """
+        counters = snap.get("counters", {})
+        gauges = snap.get("gauges", {})
+        hists = snap.get("histograms", {})
+        with self._lock:
+            for key, val in counters.items():
+                pkey = prefix + key
+                self._counters[pkey] = self._counters.get(pkey, 0) + val
+            for key, val in gauges.items():
+                self._gauges[prefix + key] = val
+            for key, stats in hists.items():
+                pkey = prefix + key
+                hist = self._hists.get(pkey)
+                if hist is None:
+                    self._hists[pkey] = [
+                        stats["count"],
+                        stats["total"],
+                        stats["min"],
+                        stats["max"],
+                    ]
+                else:
+                    hist[0] += stats["count"]
+                    hist[1] += stats["total"]
+                    hist[2] = min(hist[2], stats["min"])
+                    hist[3] = max(hist[3], stats["max"])
+
+    def drain(self) -> Snapshot:
+        """Snapshot then clear, for shipping worker buffers to the driver."""
+        with self._lock:
+            snap_counters = {k: self._counters[k] for k in sorted(self._counters)}
+            snap_gauges = {k: self._gauges[k] for k in sorted(self._gauges)}
+            snap_hists = {
+                k: {"count": h[0], "total": h[1], "min": h[2], "max": h[3]}
+                for k, h in sorted(self._hists.items())
+            }
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+        return {
+            "counters": snap_counters,
+            "gauges": snap_gauges,
+            "histograms": snap_hists,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+# Default per-process registry behind the module-level gated functions.
+_REGISTRY = MetricsRegistry()
+
+# (site, reason) pairs already surfaced on stderr this sweep; cleared by
+# reset_notes() at sweep start so each distinct fallback prints once
+# per sweep, not once per job.
+_SEEN_NOTES: Set[Tuple[str, str]] = set()
+
+
+def count(name: str, n: float = 1, *, label: Optional[str] = None) -> None:
+    """Increment a counter on the default registry (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    _REGISTRY.count(name, n, label=label)
+
+
+def gauge(name: str, value: float, *, label: Optional[str] = None) -> None:
+    """Set a gauge on the default registry (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    _REGISTRY.gauge(name, value, label=label)
+
+
+def observe(name: str, value: float, *, label: Optional[str] = None) -> None:
+    """Record a histogram sample on the default registry (no-op when disabled)."""
+    if not _STATE.enabled:
+        return
+    _REGISTRY.observe(name, value, label=label)
+
+
+def taken(site: str) -> None:
+    """Count a batch fast-path success at ``site``."""
+    if not _STATE.enabled:
+        return
+    _REGISTRY.count("batch.fastpath", label=site)
+
+
+def fallback(site: str, reason: str) -> None:
+    """Count a batch fast-path fallback at ``site`` with its reason.
+
+    Under ``--verbose`` also emits a once-per-sweep stderr note so a
+    user can tell that a nominally fast-path run was actually falling
+    back to the object path.  stderr only — stdout is diffed by the
+    determinism suites and must stay byte-identical with obs on.
+    """
+    state = _STATE
+    if not (state.enabled or state.verbose):
+        return
+    if state.enabled:
+        _REGISTRY.count("batch.fallback", label=f"{site}:{reason}")
+    if state.verbose:
+        note = (site, reason)
+        if note not in _SEEN_NOTES:
+            _SEEN_NOTES.add(note)
+            print(
+                f"[repro.obs] batch fast path fell back at {site}: {reason}",
+                file=sys.stderr,
+            )
+
+
+def reset_notes() -> None:
+    """Forget which fallback notes were printed (called at sweep start)."""
+    _SEEN_NOTES.clear()
+
+
+def registry_snapshot() -> Snapshot:
+    """Snapshot of the default registry."""
+    return _REGISTRY.snapshot()
+
+
+def drain_registry() -> Snapshot:
+    """Drain the default registry (ships worker buffers to the driver)."""
+    return _REGISTRY.drain()
+
+
+def merge_snapshot(snap: Snapshot, *, prefix: str = "") -> None:
+    """Fold a foreign snapshot into the default registry."""
+    _REGISTRY.merge(snap, prefix=prefix)
+
+
+def reset_metrics() -> None:
+    """Clear the default registry (tests only)."""
+    _REGISTRY.reset()
+    _SEEN_NOTES.clear()

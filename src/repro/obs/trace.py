@@ -1,0 +1,118 @@
+"""Context-manager spans with a one-attribute-check disabled fast path.
+
+    from repro import obs
+
+    with obs.span("stage1.scan"):
+        ...
+
+Spans record wall time via ``time.perf_counter`` into a thread-safe
+per-process buffer.  When recording is disabled, :func:`span` returns a
+shared no-op singleton after a single attribute check — no allocation,
+no clock read, no lock.
+
+This module is the *clock-bearing* surface of the observability layer:
+reprolint's OBS001/OBS002 rules ban it from kernel scope
+(``repro/sim``, ``repro/core``) so telemetry can never perturb
+simulation state or float order.  Kernel code may only use the counter
+surface in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
+
+from repro.obs._state import _STATE
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+# Buffered span records for this process.  Guarded by ``_STATE.lock``;
+# each record carries the per-process monotonic ``seq`` that makes the
+# driver-side merge deterministic.
+_SPANS: List[Dict[str, Any]] = []
+
+
+class _Span:
+    """Live span: reads the clock on enter/exit and buffers the record."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
+        end = time.perf_counter()
+        with _STATE.lock:
+            _SPANS.append(
+                {
+                    "name": self.name,
+                    "start": self._start,
+                    "end": end,
+                    "thread": threading.get_ident(),
+                    "seq": _STATE.next_seq(),
+                }
+            )
+        return False
+
+
+def span(name: str) -> Any:
+    """Open a wall-clock span; a no-op singleton when obs is disabled."""
+    if not _STATE.enabled:
+        return _NOOP
+    return _Span(name)
+
+
+def spans_snapshot() -> List[Dict[str, Any]]:
+    """Copy of the buffered span records (telemetry-order, not merged)."""
+    with _STATE.lock:
+        return [dict(s) for s in _SPANS]
+
+
+def drain_spans() -> List[Dict[str, Any]]:
+    """Remove and return all buffered spans.
+
+    The per-process ``seq`` counter is *not* reset, so records drained
+    in separate batches from the same process still merge into a single
+    total order by ``(process, seq)``.
+    """
+    with _STATE.lock:
+        out = list(_SPANS)
+        _SPANS.clear()
+        return out
+
+
+def reset_spans() -> None:
+    """Drop buffered spans and restart the sequence counter (tests only)."""
+    with _STATE.lock:
+        _SPANS.clear()
+        _STATE.seq = 0

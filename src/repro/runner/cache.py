@@ -31,6 +31,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["ResultCache", "code_fingerprint", "CACHE_VERSION", "DEFAULT_CACHE_DIR"]
 
 CACHE_VERSION = 1
@@ -132,17 +134,21 @@ class ResultCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            obs_metrics.count("cache.miss")
             return False, None
         except Exception:
             # truncated/garbled entry: drop it so the slot can be rebuilt
             self.errors += 1
             self.misses += 1
+            obs_metrics.count("cache.error")
+            obs_metrics.count("cache.miss")
             try:
                 path.unlink()
             except OSError:
                 pass
             return False, None
         self.hits += 1
+        obs_metrics.count("cache.hit")
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -159,6 +165,7 @@ class ResultCache:
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        obs_metrics.count("cache.put")
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:

@@ -26,7 +26,10 @@ skipped and each worker builds its own traces on first use.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
 
 from .cache import ResultCache
 from .spec import SweepSpec
@@ -36,13 +39,38 @@ __all__ = ["ParallelRunner"]
 
 def _execute(job: Any) -> Any:
     """Top-level worker entry point (must be picklable)."""
-    return job.run()
+    with obs.span("runner.job"):
+        return job.run()
 
 
 def _execute_indexed(indexed_job: Tuple[int, Any]) -> Tuple[int, Any]:
     """Worker entry point carrying the job's index through the pool."""
     index, job = indexed_job
     return index, job.run()
+
+
+def _execute_indexed_obs(
+    indexed_job: Tuple[int, Any]
+) -> Tuple[int, Any, Dict[str, Any]]:
+    """Obs-aware pool entry: also ships the worker's drained obs buffers.
+
+    Selected only when obs is enabled, so the default pool path carries
+    no extra payload per result.  Draining after every job keeps the
+    per-process ``seq`` counter monotonic across payloads, which is what
+    makes the driver-side ``(process, seq)`` merge a total order.
+
+    Fork-started pool workers inherit the driver's pinned process label
+    (``obs.enable(process="driver")`` sets a module-level override that
+    survives the fork), so the first call here re-pins the label to this
+    worker's own pid — buffers from two processes must never share a
+    merge key.
+    """
+    if obs.process_label() == os.environ.get("REPRO_OBS_PROCESS"):
+        obs.set_process_label(f"pool-{os.getpid()}")
+    index, job = indexed_job
+    with obs.span("runner.job"):
+        result = job.run()
+    return index, result, obs.drain_payload()
 
 
 def _prepare_key(job: Any) -> Any:
@@ -127,32 +155,37 @@ class ParallelRunner:
             job_list = spec_or_jobs.jobs()
         else:
             job_list = list(spec_or_jobs)
+        obs.reset_notes()
+        obs.count("runner.sweeps")
+        obs.count("runner.jobs", len(job_list))
         results: List[Any] = [None] * len(job_list)
         keys: List[Optional[str]] = [None] * len(job_list)
         pending: List[int] = []
-        for i, job in enumerate(job_list):
-            if self.cache is not None:
-                key = self.cache.key(job.cache_token())
-                keys[i] = key
-                hit, value = self.cache.get(key)
-                if hit:
-                    results[i] = value
-                    self.cache_hits += 1
-                    continue
-            pending.append(i)
+        with obs.span("runner.cache_lookup"):
+            for i, job in enumerate(job_list):
+                if self.cache is not None:
+                    key = self.cache.key(job.cache_token())
+                    keys[i] = key
+                    hit, value = self.cache.get(key)
+                    if hit:
+                        results[i] = value
+                        self.cache_hits += 1
+                        continue
+                pending.append(i)
 
         if pending:
             # persist each result the moment it completes (completion
             # order, not job order), so an interrupted sweep loses only
             # its in-flight jobs; the returned list is still job-ordered
             pending_jobs = [job_list[i] for i in pending]
-            for local_i, value in self._iter_execute(pending_jobs):
-                i = pending[local_i]
-                results[i] = value
-                key = keys[i]
-                if self.cache is not None and key is not None:
-                    self.cache.put(key, value)
-                self.executed += 1
+            with obs.span("runner.sweep"):
+                for local_i, value in self._iter_execute(pending_jobs):
+                    i = pending[local_i]
+                    results[i] = value
+                    key = keys[i]
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, value)
+                    self.executed += 1
         return results
 
     def run_one(self, job: Any) -> Any:
@@ -202,13 +235,24 @@ class ParallelRunner:
                     key = _prepare_key(job)
                     if (prepare is not None and consumers.get(key, 0) >= 2
                             and key not in prepared):
-                        prepare()
+                        with obs.span("runner.prepare"):
+                            prepare()
                         prepared[key] = job
         try:
             with ctx.Pool(processes=processes) as pool:
-                yield from pool.imap_unordered(
-                    _execute_indexed, list(enumerate(jobs)), chunksize=1
-                )
+                if obs.enabled():
+                    # obs-aware entry: each completion also carries the
+                    # worker's drained span/metric buffers, folded here so
+                    # the run artifact sees every process
+                    for index, value, payload in pool.imap_unordered(
+                        _execute_indexed_obs, list(enumerate(jobs)), chunksize=1
+                    ):
+                        obs.fold_payload(payload)
+                        yield index, value
+                else:
+                    yield from pool.imap_unordered(
+                        _execute_indexed, list(enumerate(jobs)), chunksize=1
+                    )
         finally:
             # children inherited the prewarmed artifacts at fork time; the
             # parent's copies are dead once the pool is done, so let jobs

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.packet import Packet, PacketKind
+from ..obs import metrics as obs_metrics
 from ..traffic.batch import PacketBatch
 from .queue import FifoQueue, _drop_free_threshold, _scatter_merge
 
@@ -122,6 +123,10 @@ class SwitchChain:
             if reg_b is not None and cross_b is not None:
                 return self.run_batch(reg_b, cross_b, sender=sender,
                                       receiver=receiver, duration=duration)
+            if reg_b is None:
+                obs_metrics.fallback("chain.run", "regular-not-columnar")
+            else:
+                obs_metrics.fallback("chain.run", "cross-not-columnar")
         cfg = self.config
         cross_per_hop = cross_per_hop or {}
         unknown = set(cross_per_hop) - set(range(cfg.n_hops))
@@ -247,7 +252,9 @@ class SwitchChain:
         unknown = set(cross) - set(range(cfg.n_hops))
         if unknown:
             raise ValueError(f"cross traffic for nonexistent hops: {sorted(unknown)}")
-        if not self._fast_path_ok(sender, receiver, reg, cross):
+        blocker = self._fast_path_blocker(sender, receiver, reg, cross)
+        if blocker is not None:
+            obs_metrics.fallback("chain.run_batch", blocker)
             cross_pairs = {
                 hop: [(p.ts, p) for p in batch.to_packets()]
                 for hop, batch in cross.items()
@@ -258,6 +265,7 @@ class SwitchChain:
             return SwitchChain(config).run(
                 reg.to_packets(), cross_pairs, sender=sender,
                 receiver=receiver, duration=duration)
+        obs_metrics.taken("chain.run_batch")
 
         queues = [
             FifoQueue(cfg.rates_bps[i], cfg.buffer_bytes, cfg.proc_delay, name=f"hop{i}")
@@ -283,26 +291,30 @@ class SwitchChain:
             result.duration = max(last, max(q.stats.last_departure for q in queues))
         return result
 
-    def _fast_path_ok(self, sender, receiver, reg, cross) -> bool:
-        """Can every component be driven columnar with exact semantics?"""
+    def _fast_path_blocker(self, sender, receiver, reg, cross) -> Optional[str]:
+        """Why the run can't be driven columnar — ``None`` when it can.
+
+        The reason string feeds the ``batch.fallback`` counter and the
+        ``--verbose`` once-per-sweep note.
+        """
         if sender is not None and not (
             getattr(sender, "batch_capable", False)
             and hasattr(sender, "fast_scan_state")
         ):
-            return False
+            return "sender-not-batch-capable"
         if receiver is not None and not (
             getattr(receiver, "batch_capable", False)
             and hasattr(receiver, "observe_batch")
         ):
-            return False
+            return "receiver-not-batch-capable"
         # the fast path hard-codes kinds: regular stream all REGULAR,
         # cross streams all CROSS (anything else would reach the receiver)
         if len(reg) and not np.all(reg.kind == int(PacketKind.REGULAR)):
-            return False
+            return "mixed-regular-kinds"
         for batch in cross.values():
             if len(batch) and not np.all(batch.kind == int(PacketKind.CROSS)):
-                return False
-        return True
+                return "mixed-cross-kinds"
+        return None
 
     def _merge_with_cross(self, time_s, size_s, kind_s, hidx_s, refslot_s,
                           crs: Optional[PacketBatch]):

@@ -62,6 +62,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.packet import Packet, PacketKind
+from ..obs import metrics as obs_metrics
 from ..traffic.batch import PacketBatch
 from .clock import DriftingClock, OffsetClock, PerfectClock
 from .queue import FifoQueue, _drop_free_threshold
@@ -81,7 +82,14 @@ class FastPathUnavailable(Exception):
     a trace outside the fabric's host blocks.  The compute phase mutates
     nothing, so catching this and re-running on the event engine is always
     safe.
+
+    ``reason`` is a short stable slug for the ``batch.fallback`` counter
+    (the human-readable detail stays in the exception message).
     """
+
+    def __init__(self, message: str, reason: str = "unavailable") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 def try_fast_path(fattree: FatTree, sender_taps: Dict, receiver_taps: Dict,
@@ -96,14 +104,18 @@ def try_fast_path(fattree: FatTree, sender_taps: Dict, receiver_taps: Dict,
     engine against untouched simulation objects.
     """
     if until is not None:
+        obs_metrics.fallback("fatpath", "until-unsupported")
         return False
     batches = [PacketBatch.coerce(t) for t in traces]
     if any(b is None for b in batches):
+        obs_metrics.fallback("fatpath", "trace-not-columnar")
         return False
     try:
         FatTreeFastPath(fattree, sender_taps, receiver_taps).run(batches)
-    except FastPathUnavailable:
+    except FastPathUnavailable as exc:
+        obs_metrics.fallback("fatpath", exc.reason)
         return False
+    obs_metrics.taken("fatpath")
     return True
 
 
@@ -301,18 +313,23 @@ class FatTreeFastPath:
     def _check(self) -> None:
         for rx in self.receiver_taps.values():
             if rx._finalized:
-                raise FastPathUnavailable(f"receiver {rx!r} already finalized")
+                raise FastPathUnavailable(
+                    f"receiver {rx!r} already finalized",
+                    reason="receiver-finalized")
             if not rx.batch_capable:
                 raise FastPathUnavailable(
                     f"receiver {rx!r} is not batch-capable (demux or "
-                    f"observation-log representation)")
+                    f"observation-log representation)",
+                    reason="receiver-not-batch-capable")
         for tx, _spec in self.sender_taps.values():
             if not tx.policy_pure:
                 raise FastPathUnavailable(
-                    f"sender {tx.sender_id}: custom injection policy")
+                    f"sender {tx.sender_id}: custom injection policy",
+                    reason="custom-policy")
             if not _clock_is_pure(tx.clock):
                 raise FastPathUnavailable(
-                    f"sender {tx.sender_id}: stateful (jittered) clock")
+                    f"sender {tx.sender_id}: stateful (jittered) clock",
+                    reason="stateful-clock")
 
     def _queue(self, switch, port_index: int) -> Tuple[FifoQueue, float]:
         """A fresh scan clone (and prop delay) for one egress port."""
@@ -320,9 +337,11 @@ class FatTreeFastPath:
         q = port.queue
         if type(q) is not FifoQueue:
             raise FastPathUnavailable(
-                f"{q!r} is not a plain tail-drop FifoQueue")
+                f"{q!r} is not a plain tail-drop FifoQueue",
+                reason="custom-queue")
         if q._free_at != 0.0 or q.stats.arrivals:
-            raise FastPathUnavailable(f"{q!r} carries prior traffic")
+            raise FastPathUnavailable(f"{q!r} carries prior traffic",
+                                      reason="queue-prior-traffic")
         clone = _clone_queue(q)
         self._clones.append((q, clone))
         return clone, port.prop_delay
@@ -346,7 +365,8 @@ class FatTreeFastPath:
         if len(gb):
             gb = gb.take(np.argsort(gb.ts, kind="stable"))
         if len(gb) and not np.all(gb.kind == _REGULAR):
-            raise FastPathUnavailable("trace contains non-regular packets")
+            raise FastPathUnavailable("trace contains non-regular packets",
+                                      reason="mixed-regular-kinds")
         src = gb.src
         dst = gb.dst
         spod = (src >> 16) & 0xFF
@@ -358,7 +378,8 @@ class FatTreeFastPath:
             & (spod < k) & (sedge < half) & (dpod < k) & (dedge < half)
         )
         if not np.all(ok):
-            raise FastPathUnavailable("trace packets outside the host blocks")
+            raise FastPathUnavailable("trace packets outside the host blocks",
+                                      reason="trace-outside-fabric")
         self._dpod, self._dedge = dpod, dedge
 
         cols = (gb.src, gb.dst, gb.sport, gb.dport, gb.proto)
@@ -577,7 +598,8 @@ class FatTreeFastPath:
             for pod, e, cls in reversed(spec[1]):  # first match wins
                 out[(self._dpod[rows] == pod) & (self._dedge[rows] == e)] = cls
             return out
-        raise FastPathUnavailable(f"unknown classify spec {spec[0]!r}")
+        raise FastPathUnavailable(f"unknown classify spec {spec[0]!r}",
+                                  reason="unknown-classify-spec")
 
     def _sender_scan(self, queue: FifoQueue, prop: float, stream: _Stream,
                      sender, spec, cols, tap_col) -> _Stream:

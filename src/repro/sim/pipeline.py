@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..net.packet import Packet, PacketKind
+from ..obs import metrics as obs_metrics
 from ..traffic.batch import PacketBatch
 from .queue import FifoQueue, _drop_free_threshold, _scatter_merge
 
@@ -151,6 +152,10 @@ class TwoSwitchPipeline:
                     regular_b, cross_b or PacketBatch.empty(),
                     sender=sender, receiver=receiver, duration=duration,
                 )
+            if regular_b is None:
+                obs_metrics.fallback("pipeline.run", "regular-not-columnar")
+            else:
+                obs_metrics.fallback("pipeline.run", "cross-not-columnar")
         cfg = self.config
         queue1 = cfg.queue_factory(cfg.rate1_bps, cfg.buffer1_bytes, cfg.proc_delay, "switch1")
         queue2 = cfg.queue_factory(cfg.rate2_bps, cfg.buffer2_bytes, cfg.proc_delay, "switch2")
@@ -213,10 +218,13 @@ class TwoSwitchPipeline:
         cfg = self.config
         queue1 = cfg.queue_factory(cfg.rate1_bps, cfg.buffer1_bytes, cfg.proc_delay, "switch1")
         queue2 = cfg.queue_factory(cfg.rate2_bps, cfg.buffer2_bytes, cfg.proc_delay, "switch2")
-        if not self._fast_path_ok(queue1, queue2, sender, receiver, reg, crs):
+        blocker = self._fast_path_blocker(queue1, queue2, sender, receiver, reg, crs)
+        if blocker is not None:
+            obs_metrics.fallback("pipeline.run_batch", blocker)
             cross_pairs = [(p.ts, p) for p in crs.to_packets()]
             return self.run(reg.to_packets(), cross_pairs, sender=sender,
                             receiver=receiver, duration=duration)
+        obs_metrics.taken("pipeline.run_batch")
 
         stage2 = self._stage1_batch(reg, queue1, sender)
         time2, size2, kind2, hdr2, refslot2, ref_objs = stage2
@@ -281,28 +289,33 @@ class TwoSwitchPipeline:
             result.duration = max(queue1.stats.last_departure, queue2.stats.last_departure)
         return result
 
-    def _fast_path_ok(self, queue1, queue2, sender, receiver, reg, crs) -> bool:
-        """Can every component be driven columnar with exact semantics?"""
+    def _fast_path_blocker(self, queue1, queue2, sender, receiver, reg, crs) -> Optional[str]:
+        """Why the run can't be driven columnar — ``None`` when it can.
+
+        The reason string feeds the ``batch.fallback`` counter and the
+        ``--verbose`` once-per-sweep note, so a user can tell a nominal
+        fast-path run was actually falling back and why.
+        """
         if type(queue1) is not FifoQueue or type(queue2) is not FifoQueue:
-            return False
+            return "custom-queue"
         if sender is not None and not (
             getattr(sender, "batch_capable", False)
             and hasattr(sender, "fast_scan_state")
         ):
-            return False
+            return "sender-not-batch-capable"
         if receiver is not None and not (
             getattr(receiver, "batch_capable", False)
             and hasattr(receiver, "observe_batch")
         ):
-            return False
+            return "receiver-not-batch-capable"
         # kinds the fast path hard-codes: the regular stream must be all
         # REGULAR (references are injected, not replayed) and the cross
         # stream all CROSS (anything else would be shown to the receiver)
         if len(reg) and not np.all(reg.kind == int(PacketKind.REGULAR)):
-            return False
+            return "mixed-regular-kinds"
         if len(crs) and not np.all(crs.kind == int(PacketKind.CROSS)):
-            return False
-        return True
+            return "mixed-cross-kinds"
+        return None
 
     def _stage1_batch(self, reg: PacketBatch, queue1: FifoQueue, sender):
         """Columnar Switch-1 pass: queue scan + inline reference injection.

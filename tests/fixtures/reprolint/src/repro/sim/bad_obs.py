@@ -1,0 +1,34 @@
+"""Bad fixture: kernel scope touching the obs layer the wrong ways.
+
+Never imported — only parsed by reprolint's tests.  Line numbers are
+asserted in tests/test_reprolint.py; edit with care.
+"""
+
+from repro import obs                          # line 7: OBS002 (package)
+from repro.obs import trace                    # line 8: OBS002 (trace)
+from repro.obs import span                     # line 9: OBS002 (re-export)
+from repro.obs import metrics as obs_metrics   # line 10: allowed
+from repro.obs.metrics import count            # line 11: allowed
+
+
+def timed_step(state):
+    with obs.span("sim.step"):                 # line 15: OBS001
+        state.advance()
+    payload = obs.drain_payload()              # line 17: OBS001
+    trace.span("sim.inner")                    # line 18: OBS001
+    span("sim.direct")                         # line 19: OBS001
+    return payload
+
+
+def counted_step(state):
+    obs_metrics.count("sim.steps")             # line 24: clean (statement)
+    count("sim.steps")                         # line 25: clean (statement)
+    x = obs_metrics.count("sim.steps")         # line 26: OBS003
+    if count("sim.steps"):                     # line 27: OBS003
+        return x
+    return obs_metrics.gauge("sim.depth", 1.0)  # line 29: OBS003
+
+
+def suppressed_step():
+    with obs.span("sim.ok"):  # reprolint: disable=OBS001 -- fixture: justified suppression must silence
+        pass

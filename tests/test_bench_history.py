@@ -102,3 +102,44 @@ class TestMergeBenchHistory:
     def test_utc_timestamp_shape(self, bench_history):
         stamp = bench_history.utc_timestamp()
         assert len(stamp) == 20 and stamp.endswith("Z") and stamp[4] == "-"
+
+class TestObsRideAlong:
+    """The optional ``repro.obs`` span summary riding in each entry."""
+
+    def test_entry_includes_obs_when_given(self, bench_history):
+        summary = {"runner.sweep": {"count": 1, "total_s": 0.5, "max_s": 0.5}}
+        made = bench_history.make_entry(
+            {"pipeline_fig4": {"speedup": 6.0}},
+            sha="abc", timestamp="2026-07-30T00:00:00Z", scale=1.0,
+            python="3.12.0", numpy="2.0.0", obs=summary,
+        )
+        assert made["obs"] == summary
+        made["obs"]["extra"] = {}  # the entry owns its own top-level dict
+        assert "extra" not in summary
+
+    def test_entry_omits_obs_when_absent_or_empty(self, bench_history):
+        for quiet in (None, {}):
+            made = bench_history.make_entry(
+                {"pipeline_fig4": {"speedup": 6.0}},
+                sha="abc", timestamp="2026-07-30T00:00:00Z", scale=1.0,
+                python="3.12.0", numpy="2.0.0", obs=quiet,
+            )
+            assert "obs" not in made
+
+    def test_history_preserves_obs(self, bench_history):
+        summary = {"runner.job": {"count": 4, "total_s": 1.0, "max_s": 0.3}}
+        made = bench_history.make_entry(
+            {"pipeline_fig4": {"speedup": 6.0}},
+            sha="abc", timestamp="2026-07-30T00:00:00Z", scale=1.0,
+            python="3.12.0", numpy="2.0.0", obs=summary,
+        )
+        merged = bench_history.merge_bench_history({}, made)
+        assert merged["history"][-1]["obs"] == summary
+        # but the latest-wins results view stays obs-free
+        assert "obs" not in merged["results"]
+
+    def test_obs_summary_quiet_by_default(self, bench_history):
+        # benches run without REPRO_OBS; the helper must contribute nothing
+        import os
+        assert not os.environ.get("REPRO_OBS")
+        assert bench_history.obs_summary() is None

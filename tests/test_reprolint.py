@@ -52,7 +52,7 @@ class TestRegistry:
 
     def test_every_family_present(self):
         families = {r.id[:3] for r in ALL_RULES}
-        assert {"DET", "KEY", "LOC", "BAT"} <= families
+        assert {"DET", "KEY", "LOC", "BAT", "OBS"} <= families
 
     def test_rules_have_descriptions(self):
         for rule in ALL_RULES:
@@ -209,6 +209,53 @@ class TestBatchParityRules:
 
 
 # ----------------------------------------------------------------------
+# observability family
+
+
+class TestObsRules:
+    PAIRS, RAW = findings_for("src/repro/sim/bad_obs.py")
+
+    def test_obs002_banned_imports(self):
+        assert rule_lines(self.PAIRS, "OBS002") == [7, 8, 9]
+
+    def test_metrics_imports_clean(self):
+        assert not any(line in (10, 11) for _, line in self.PAIRS)
+
+    def test_obs001_clock_calls(self):
+        assert rule_lines(self.PAIRS, "OBS001") == [15, 17, 18, 19]
+
+    def test_obs003_consumed_counter_returns(self):
+        assert rule_lines(self.PAIRS, "OBS003") == [26, 27, 29]
+
+    def test_statement_counters_clean(self):
+        assert not any(line in (24, 25) for _, line in self.PAIRS)
+
+    def test_justified_suppression_silences(self):
+        assert 33 not in rule_lines(self.PAIRS, "OBS001")
+
+    def test_out_of_scope_path_is_ignored(self):
+        # the runner/distrib layers legitimately use the span API
+        src = (FIXTURES / "src/repro/sim/bad_obs.py").read_text()
+        found = lint_file(pathlib.Path("src/repro/runner/runner.py"),
+                          ALL_RULES, source=src)
+        assert not [f for f in found if f.rule.startswith("OBS")]
+
+    def test_relative_metrics_import_clean(self):
+        src = ("from ..obs import metrics as obs_metrics\n"
+               "def f():\n"
+               "    obs_metrics.count('sim.x')\n")
+        found = lint_file(pathlib.Path("src/repro/sim/m.py"),
+                          ALL_RULES, source=src)
+        assert not [f for f in found if f.rule.startswith("OBS")]
+
+    def test_relative_trace_import_flagged(self):
+        src = "from ..obs import trace\n"
+        found = lint_file(pathlib.Path("src/repro/sim/m.py"),
+                          ALL_RULES, source=src)
+        assert [f.rule for f in found] == ["OBS002"]
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 
 
@@ -256,7 +303,8 @@ class TestEngine:
         rules_hit = {f.rule for f in findings}
         assert {"DET001", "DET002", "DET003", "KEY001", "KEY002",
                 "LOCK001", "LOCK002", "LOCK003", "LOCK004",
-                "BATCH001", "BATCH002", "BATCH003"} <= rules_hit
+                "BATCH001", "BATCH002", "BATCH003",
+                "OBS001", "OBS002", "OBS003"} <= rules_hit
 
 
 # ----------------------------------------------------------------------

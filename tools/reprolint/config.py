@@ -102,3 +102,30 @@ NUMPY_NAMES = frozenset({"np", "numpy"})
 # Only sim-layer modules orchestrate foreign batch objects; they must
 # gate on `batch_capable` before calling another object's `*_batch`.
 BATCH_GATE_SCOPE = ("repro/sim/",)
+
+# -- observability (OBS) ------------------------------------------------
+
+# Kernel scope (everything the DET rules keep pure) may reach the obs
+# layer only through its clock-free counter surface: importing
+# `repro.obs.metrics` is allowed, the package itself / trace / export
+# are not — they read `time.perf_counter`, which DET001 deliberately
+# exempts inside `repro/obs/` (outside DETERMINISM_SCOPE) and which
+# must therefore never be re-imported back into kernel scope.
+OBS_KERNEL_SCOPE = DETERMINISM_SCOPE
+
+# The one importable repro.obs submodule in kernel scope.
+OBS_ALLOWED_SUBMODULE = "metrics"
+
+# Clock-bearing obs entry points, matched at call sites (OBS001).
+OBS_CLOCK_CALLS = frozenset({
+    "span", "spans_snapshot", "drain_spans", "reset_spans",
+    "drain_payload", "merged_spans", "build_artifact", "write_artifact",
+    "write_chrome_trace", "span_summary",
+})
+
+# Public metrics functions; all return None, so kernel-scope call sites
+# must be bare statements (OBS003) — a used return value would mean
+# telemetry feeding back into simulation control flow.
+OBS_METRIC_CALLS = frozenset({
+    "count", "gauge", "observe", "taken", "fallback", "reset_notes",
+})

@@ -5,13 +5,14 @@ from __future__ import annotations
 from typing import List
 
 from ..engine import Rule
-from . import batchparity, cachekey, determinism, locks
+from . import batchparity, cachekey, determinism, locks, obs
 
 ALL_RULES: List[Rule] = [
     *determinism.RULES,
     *cachekey.RULES,
     *locks.RULES,
     *batchparity.RULES,
+    *obs.RULES,
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,186 @@
+"""OBS rules: telemetry may observe kernel scope, never perturb it.
+
+OBS001  clock-bearing obs API (span, drain_payload, artifact builders)
+        called in kernel scope — spans read ``time.perf_counter``, which
+        kernel code must never see
+OBS002  kernel scope imports anything from ``repro.obs`` other than the
+        counter surface ``repro.obs.metrics`` (the package root re-exports
+        the span API, so even ``from repro import obs`` is banned)
+OBS003  a metrics call in kernel scope whose return value is used — every
+        public metrics function returns ``None``; a consumed result means
+        telemetry feeding back into simulation control flow
+
+The rules are deliberately redundant with each other: OBS002 fires at
+the import, OBS001 at the call site, so a file that smuggles the span
+API in through an unusual spelling still trips at least one of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import FileContext, Rule, dotted_chain
+from .. import config
+
+Findings = Iterator[Tuple[int, str]]
+
+
+def _obs_segments(module: str) -> List[str]:
+    """Dotted components of an import's module text, empty-safe."""
+    return [seg for seg in (module or "").split(".") if seg]
+
+
+class _ObsImports:
+    """Names a file binds to pieces of the observability layer.
+
+    Resolution is textual: any import whose module path contains an
+    ``obs`` segment is treated as the repro observability package —
+    matching both the real tree (``repro.obs.metrics``, relative
+    ``..obs``) and the lint fixtures.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.package_aliases: Set[str] = set()   # bound to repro.obs itself
+        self.clock_aliases: Set[str] = set()     # bound to trace/export
+        self.metrics_aliases: Set[str] = set()   # bound to repro.obs.metrics
+        self.clock_names: Set[str] = set()       # span etc. imported directly
+        self.metric_names: Set[str] = set()      # count etc. imported directly
+        self.bad_imports: List[Tuple[int, str]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._plain_import(node, alias)
+            elif isinstance(node, ast.ImportFrom):
+                self._from_import(node)
+
+    def _plain_import(self, node: ast.Import, alias: ast.alias) -> None:
+        segments = _obs_segments(alias.name)
+        if "obs" not in segments:
+            return
+        after = segments[segments.index("obs") + 1:]
+        bound = alias.asname or segments[0]
+        if after == [config.OBS_ALLOWED_SUBMODULE]:
+            if alias.asname:
+                self.metrics_aliases.add(bound)
+            return
+        self.bad_imports.append((node.lineno, alias.name))
+        if not after:
+            self.package_aliases.add(alias.asname or "obs")
+        else:
+            self.clock_aliases.add(bound)
+
+    def _from_import(self, node: ast.ImportFrom) -> None:
+        segments = _obs_segments(node.module)
+        if "obs" in segments:
+            after = segments[segments.index("obs") + 1:]
+            if not after:
+                # from ...obs import X — X is a submodule or re-export
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name == config.OBS_ALLOWED_SUBMODULE:
+                        self.metrics_aliases.add(bound)
+                        continue
+                    self.bad_imports.append(
+                        (node.lineno, f"{node.module}.{alias.name}"))
+                    if alias.name in config.OBS_CLOCK_CALLS:
+                        self.clock_names.add(bound)
+                    elif alias.name in config.OBS_METRIC_CALLS:
+                        self.metric_names.add(bound)
+                    else:
+                        self.clock_aliases.add(bound)
+                return
+            if after == [config.OBS_ALLOWED_SUBMODULE]:
+                for alias in node.names:
+                    self.metric_names.add(alias.asname or alias.name)
+                return
+            self.bad_imports.append((node.lineno, node.module or "?"))
+            for alias in node.names:
+                self.clock_names.add(alias.asname or alias.name)
+            return
+        # from ... import obs  (package root via its parent)
+        for alias in node.names:
+            if alias.name == "obs":
+                self.bad_imports.append(
+                    (node.lineno, f"{node.module or '.'} -> obs"))
+                self.package_aliases.add(alias.asname or "obs")
+
+
+def _expression_statement_calls(tree: ast.Module) -> Set[int]:
+    """``id()`` of every Call that is the whole of an ``ast.Expr``."""
+    return {
+        id(node.value)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)
+    }
+
+
+def _check_clock_calls(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.OBS_KERNEL_SCOPE):
+        return
+    imports = _ObsImports(ctx.tree)
+    roots = imports.package_aliases | imports.clock_aliases
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = dotted_chain(node.func)
+        if (len(chain) >= 2 and chain[0] in roots
+                and chain[-1] in config.OBS_CLOCK_CALLS):
+            yield node.lineno, (
+                f"{'.'.join(chain)}() reads the telemetry clock inside "
+                f"kernel scope; only the counter surface "
+                f"(repro.obs.metrics) is allowed here"
+            )
+        elif len(chain) == 1 and chain[0] in imports.clock_names:
+            yield node.lineno, (
+                f"{chain[0]}() is a clock-bearing repro.obs API; kernel "
+                f"scope may only call repro.obs.metrics counters"
+            )
+
+
+def _check_imports(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.OBS_KERNEL_SCOPE):
+        return
+    imports = _ObsImports(ctx.tree)
+    for line, what in imports.bad_imports:
+        yield line, (
+            f"kernel scope imports {what!r} from the obs layer; import "
+            f"the counter surface only — e.g. "
+            f"'from ..obs import metrics as obs_metrics'"
+        )
+
+
+def _check_statement_calls(ctx: FileContext) -> Findings:
+    if not ctx.in_scope(config.OBS_KERNEL_SCOPE):
+        return
+    imports = _ObsImports(ctx.tree)
+    statements = _expression_statement_calls(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or id(node) in statements:
+            continue
+        chain = dotted_chain(node.func)
+        used = None
+        if (len(chain) == 2 and chain[0] in imports.metrics_aliases
+                and chain[1] in config.OBS_METRIC_CALLS):
+            used = ".".join(chain)
+        elif len(chain) == 1 and chain[0] in imports.metric_names:
+            used = chain[0]
+        if used is not None:
+            yield node.lineno, (
+                f"return value of {used}() is consumed in kernel scope; "
+                f"metrics functions return None — telemetry must stay a "
+                f"bare statement that cannot steer simulation control flow"
+            )
+
+
+RULES = [
+    Rule("OBS001", "error",
+         "clock-bearing obs API called in kernel scope",
+         _check_clock_calls),
+    Rule("OBS002", "error",
+         "kernel scope may import only repro.obs.metrics",
+         _check_imports),
+    Rule("OBS003", "error",
+         "metrics call in kernel scope must be a bare statement",
+         _check_statement_calls),
+]
